@@ -1,0 +1,78 @@
+package rock
+
+import (
+	"github.com/rockclust/rock/internal/baseline"
+	"github.com/rockclust/rock/internal/stirr"
+)
+
+// Baseline types, re-exported for head-to-head comparisons against ROCK.
+type (
+	// Linkage selects the hierarchical cluster-distance rule.
+	Linkage = baseline.Linkage
+	// HierarchicalConfig parameterizes Hierarchical.
+	HierarchicalConfig = baseline.HierarchicalConfig
+	// BaselineResult is a flat clustering from a baseline algorithm.
+	BaselineResult = baseline.Result
+	// KModesConfig parameterizes KModes.
+	KModesConfig = baseline.KModesConfig
+	// KModesResult carries a k-modes clustering with its modes and cost.
+	KModesResult = baseline.KModesResult
+)
+
+// Linkage rules for Hierarchical.
+const (
+	CentroidLinkage = baseline.Centroid
+	AverageLinkage  = baseline.Average
+	SingleLinkage   = baseline.Single
+	CompleteLinkage = baseline.Complete
+)
+
+// Hierarchical runs traditional agglomerative clustering over the binary
+// embedding of the transactions — the comparator of the paper's
+// experiments.
+func Hierarchical(ts []Transaction, cfg HierarchicalConfig) (*BaselineResult, error) {
+	return baseline.Hierarchical(ts, cfg)
+}
+
+// HierarchicalSampled clusters a sample hierarchically and assigns the
+// remaining points to the nearest centroid.
+func HierarchicalSampled(ts []Transaction, sampleIdx []int, cfg HierarchicalConfig) (*BaselineResult, error) {
+	return baseline.HierarchicalSampled(ts, sampleIdx, cfg)
+}
+
+// KModes runs Huang's k-modes algorithm over categorical records.
+func KModes(records []Record, cfg KModesConfig) (*KModesResult, error) {
+	return baseline.KModes(records, cfg)
+}
+
+// RecordsOf reconstructs the categorical records of a dataset built with
+// EncodeRecords (for record-based algorithms like KModes and STIRR).
+func RecordsOf(d *Dataset) []Record { return baseline.RecordsOf(d) }
+
+// STIRR types, re-exported. STIRR is the weight-propagation dynamical
+// system of Gibson, Kleinberg and Raghavan; the Revised option is the
+// convergence-guaranteed linear iteration in the spirit of Zhang et al.
+// (ICDE 2000).
+type (
+	// STIRRConfig parameterizes a STIRR run.
+	STIRRConfig = stirr.Config
+	// STIRRResult carries the converged weight vectors.
+	STIRRResult = stirr.Result
+)
+
+// STIRR combiners.
+const (
+	STIRRSum     = stirr.Sum
+	STIRRProduct = stirr.Product
+)
+
+// STIRR executes the dynamical system over categorical records.
+func STIRR(records []Record, nattrs int, cfg STIRRConfig) (*STIRRResult, error) {
+	return stirr.Run(records, nattrs, cfg)
+}
+
+// STIRRClusters splits records in two by the sign of their total weight
+// under the given basin.
+func STIRRClusters(res *STIRRResult, records []Record, basin int) []int {
+	return stirr.ClusterRecords(res, records, basin)
+}

@@ -1,0 +1,157 @@
+package rock_test
+
+// One benchmark per table and figure of the paper's evaluation (E1..E8)
+// and per DESIGN.md ablation (A1..A5), each regenerating its experiment
+// through the harness in quick mode — run `cmd/rockbench` for the
+// paper-scale tables. Micro-benchmarks for the pipeline stages follow.
+
+import (
+	"io"
+	"strconv"
+	"testing"
+
+	"github.com/rockclust/rock"
+	"github.com/rockclust/rock/internal/expt"
+	"github.com/rockclust/rock/internal/linkage"
+	"github.com/rockclust/rock/internal/similarity"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := expt.Run(id, io.Discard, expt.Options{Quick: true, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1VotesTraditional(b *testing.B)    { benchExperiment(b, "E1") }
+func BenchmarkE2VotesROCK(b *testing.B)           { benchExperiment(b, "E2") }
+func BenchmarkE3MushroomTraditional(b *testing.B) { benchExperiment(b, "E3") }
+func BenchmarkE4MushroomROCK(b *testing.B)        { benchExperiment(b, "E4") }
+func BenchmarkE5Funds(b *testing.B)               { benchExperiment(b, "E5") }
+func BenchmarkE6ScaleUp(b *testing.B)             { benchExperiment(b, "E6") }
+func BenchmarkE7SampleQuality(b *testing.B)       { benchExperiment(b, "E7") }
+func BenchmarkE8Motivating(b *testing.B)          { benchExperiment(b, "E8") }
+func BenchmarkA1GoodnessAblation(b *testing.B)    { benchExperiment(b, "A1") }
+func BenchmarkA2QROCK(b *testing.B)               { benchExperiment(b, "A2") }
+func BenchmarkA3FTheta(b *testing.B)              { benchExperiment(b, "A3") }
+func BenchmarkA4Outliers(b *testing.B)            { benchExperiment(b, "A4") }
+func BenchmarkA5STIRR(b *testing.B)               { benchExperiment(b, "A5") }
+func BenchmarkA6LSHNeighbors(b *testing.B)        { benchExperiment(b, "A6") }
+
+// --- pipeline-stage micro-benchmarks ---
+
+func benchBasket(n int) *rock.Dataset {
+	return rock.GenerateBasket(rock.BasketConfig{
+		Transactions:    n,
+		Clusters:        10,
+		TemplateItems:   15,
+		TransactionSize: 12,
+		Seed:            1,
+	})
+}
+
+func BenchmarkJaccard(b *testing.B) {
+	d := benchBasket(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rock.Jaccard(d.Trans[i%32], d.Trans[32+i%32])
+	}
+}
+
+func BenchmarkNeighborsIndexed(b *testing.B) {
+	for _, n := range []int{1000, 2000} {
+		d := benchBasket(n)
+		b.Run(sizeName(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				similarity.ComputeIndexed(d.Trans, 0.6, similarity.Options{})
+			}
+		})
+	}
+}
+
+func BenchmarkNeighborsBrute(b *testing.B) {
+	d := benchBasket(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		similarity.Compute(d.Trans, 0.6, similarity.Options{})
+	}
+}
+
+func BenchmarkNeighborsLSH(b *testing.B) {
+	for _, n := range []int{1000, 2000} {
+		d := benchBasket(n)
+		b.Run(sizeName(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				similarity.ComputeLSH(d.Trans, 0.6, similarity.LSHOptions{Seed: 1})
+			}
+		})
+	}
+}
+
+func BenchmarkLinks(b *testing.B) {
+	d := benchBasket(1000)
+	nb := similarity.ComputeIndexed(d.Trans, 0.6, similarity.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		linkage.FromNeighbors(nb)
+	}
+}
+
+func BenchmarkClusterPipeline(b *testing.B) {
+	for _, n := range []int{500, 1000, 2000} {
+		d := benchBasket(n)
+		b.Run(sizeName(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := rock.Cluster(d.Trans, rock.Config{Theta: 0.6, K: 10, Seed: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkClusterSampled(b *testing.B) {
+	d := benchBasket(5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rock.Cluster(d.Trans, rock.Config{Theta: 0.6, K: 10, SampleSize: 1000, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQRock(b *testing.B) {
+	d := benchBasket(2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rock.QRock(d.Trans, rock.QRockConfig{Theta: 0.6}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHierarchicalBaseline(b *testing.B) {
+	d := benchBasket(400)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rock.Hierarchical(d.Trans, rock.HierarchicalConfig{K: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKModesBaseline(b *testing.B) {
+	d := rock.GenerateLabeled(rock.LabeledConfig{Records: 1000, Classes: 10, Seed: 1})
+	records := rock.RecordsOf(d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rock.KModes(records, rock.KModesConfig{K: 10, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func sizeName(n int) string { return "n=" + strconv.Itoa(n) }

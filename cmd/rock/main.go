@@ -1,0 +1,137 @@
+// Command rock clusters a categorical dataset with ROCK and prints the
+// clusters. Input is either CSV (categorical records, one row each) or
+// the market-basket text format (one transaction per line).
+//
+// Examples:
+//
+//	rock -input votes.csv -label-col 0 -theta 0.73 -k 2
+//	rock -input baskets.txt -format basket -theta 0.5 -k 8 -sample 2000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/rockclust/rock"
+)
+
+func main() {
+	var (
+		input    = flag.String("input", "", "input file (default stdin)")
+		format   = flag.String("format", "csv", "input format: csv or basket")
+		theta    = flag.Float64("theta", 0.5, "neighbor threshold θ in [0,1]")
+		k        = flag.Int("k", 2, "target number of clusters")
+		sample   = flag.Int("sample", 0, "cluster a uniform sample of this size and label the rest (0 = all)")
+		minNbr   = flag.Int("min-neighbors", 0, "prune points with fewer neighbors")
+		weedAt   = flag.Float64("weed-at", 0, "weed tiny clusters when this fraction of clusters remains (0 = off)")
+		weedMax  = flag.Int("weed-max", 2, "largest cluster size weeded")
+		seed     = flag.Int64("seed", 1, "random seed (sampling, labeling)")
+		labelCol = flag.Int("label-col", -1, "csv: ground-truth label column (enables quality metrics)")
+		nameCol  = flag.Int("name-col", -1, "csv: record name column")
+		noHeader = flag.Bool("no-header", false, "csv: no header row")
+		firstLab = flag.Bool("first-token-label", false, "basket: first token of each line is the label")
+		members  = flag.Bool("members", false, "print cluster members")
+		topItems = flag.Int("top-items", 0, "print this many top items per cluster")
+		lsh      = flag.Bool("lsh", false, "approximate neighbors via MinHash LSH (large inputs)")
+		maxRows  = flag.Int("max-rows", 40, "clusters shown in the summary table")
+	)
+	flag.Parse()
+
+	if err := run(*input, *format, rock.Config{
+		Theta:        *theta,
+		K:            *k,
+		SampleSize:   *sample,
+		MinNeighbors: *minNbr,
+		WeedAt:       *weedAt,
+		WeedMaxSize:  *weedMax,
+		Seed:         *seed,
+		LSHNeighbors: *lsh,
+	}, *labelCol, *nameCol, !*noHeader, *firstLab, *members, *topItems, *maxRows); err != nil {
+		fmt.Fprintln(os.Stderr, "rock:", err)
+		os.Exit(1)
+	}
+}
+
+func run(input, format string, cfg rock.Config, labelCol, nameCol int, header, firstLab, members bool, topItems, maxRows int) error {
+	var in io.Reader = os.Stdin
+	if input != "" {
+		f, err := os.Open(input)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+
+	var d *rock.Dataset
+	var err error
+	switch format {
+	case "csv":
+		opts := rock.DefaultCSVOptions()
+		opts.HasHeader = header
+		opts.LabelCol = labelCol
+		opts.NameCol = nameCol
+		d, err = rock.ReadCSV(in, opts)
+	case "basket":
+		d, err = rock.ReadBasket(in, rock.BasketOptions{FirstTokenIsLabel: firstLab, Comment: '#'})
+	default:
+		return fmt.Errorf("unknown format %q (want csv or basket)", format)
+	}
+	if err != nil {
+		return err
+	}
+
+	res, err := rock.ClusterDataset(d, cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("points=%d clusters=%d outliers=%d merges=%d m_a=%.1f link-pairs=%d\n",
+		d.Len(), res.K(), len(res.Outliers), res.Stats.Merges, res.Stats.AvgNeighbors, res.Stats.LinkPairs)
+	for ci, ms := range res.Clusters {
+		if ci >= maxRows {
+			fmt.Printf("... %d more clusters\n", res.K()-maxRows)
+			break
+		}
+		fmt.Printf("cluster %d: size=%d", ci, len(ms))
+		if d.Labels != nil {
+			counts := map[string]int{}
+			for _, p := range ms {
+				counts[d.Labels[p]]++
+			}
+			best, bestN := "", 0
+			for l, n := range counts {
+				if n > bestN || (n == bestN && l < best) {
+					best, bestN = l, n
+				}
+			}
+			fmt.Printf(" majority=%s purity=%.3f", best, float64(bestN)/float64(len(ms)))
+		}
+		fmt.Println()
+		if topItems > 0 {
+			h := rock.BuildHistogram(d.Trans, ms)
+			fmt.Printf("  top items:")
+			for _, ic := range h.Top(topItems) {
+				fmt.Printf(" %s(%.0f%%)", d.Vocab.Name(ic.Item), 100*h.Support(ic.Item))
+			}
+			fmt.Println()
+		}
+		if members {
+			for _, p := range ms {
+				name := fmt.Sprintf("#%d", p)
+				if d.Names != nil {
+					name = d.Names[p]
+				}
+				fmt.Printf("  %s\n", name)
+			}
+		}
+	}
+	if d.Labels != nil {
+		ev := rock.Evaluate(res.Assign, d.Labels)
+		fmt.Printf("accuracy r=%.4f error e=%.4f ace=%d ARI=%.4f NMI=%.4f\n",
+			ev.Accuracy, ev.Error, ev.AbsoluteError, ev.ARI, ev.NMI)
+	}
+	return nil
+}

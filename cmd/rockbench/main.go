@@ -1,0 +1,57 @@
+// Command rockbench regenerates the tables and figures of the paper's
+// evaluation (and the DESIGN.md ablations) on the synthetic stand-in
+// datasets. Run with no arguments for the full suite, or name experiment
+// ids (E1..E8, A1..A5).
+//
+//	rockbench              # everything, paper-scale
+//	rockbench -quick E6    # shrunken timing sweep
+//	rockbench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/rockclust/rock/internal/expt"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "shrink dataset sizes and sweeps")
+		seed  = flag.Int64("seed", 0, "base seed for all generators")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+		out   = flag.String("out", "", "write reports to this file instead of stdout")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range expt.IDs() {
+			fmt.Printf("%-4s %s\n", id, expt.Title(id))
+		}
+		return
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rockbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	opts := expt.Options{Quick: *quick, Seed: *seed}
+	ids := flag.Args()
+	if len(ids) == 0 {
+		ids = expt.IDs()
+	}
+	for _, id := range ids {
+		if err := expt.Run(id, w, opts); err != nil {
+			fmt.Fprintln(os.Stderr, "rockbench:", err)
+			os.Exit(1)
+		}
+	}
+}

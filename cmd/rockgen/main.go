@@ -1,0 +1,77 @@
+// Command rockgen emits the synthetic datasets used by the reproduction:
+// the votes, mushroom and funds stand-ins, market-basket streams, and
+// generic labeled categorical data. Output is CSV (record datasets) or
+// the basket text format.
+//
+//	rockgen -kind votes > votes.csv
+//	rockgen -kind basket -n 5000 -clusters 10 -format basket > baskets.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/rockclust/rock"
+)
+
+func main() {
+	var (
+		kind     = flag.String("kind", "votes", "dataset: votes, mushroom, funds, basket, labeled")
+		n        = flag.Int("n", 1000, "records (basket/labeled)")
+		clusters = flag.Int("clusters", 5, "clusters/classes (basket/labeled)")
+		days     = flag.Int("days", 550, "trading days (funds)")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		format   = flag.String("format", "", "output format: csv or basket (default per kind)")
+		out      = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var d *rock.Dataset
+	defFormat := "csv"
+	switch *kind {
+	case "votes":
+		d = rock.GenerateVotes(rock.VotesConfig{Seed: *seed})
+	case "mushroom":
+		d = rock.GenerateMushroom(rock.MushroomConfig{Seed: *seed})
+	case "funds":
+		d = rock.GenerateFunds(rock.FundsConfig{Days: *days, Seed: *seed})
+		defFormat = "basket"
+	case "basket":
+		d = rock.GenerateBasket(rock.BasketConfig{Transactions: *n, Clusters: *clusters, Seed: *seed})
+		defFormat = "basket"
+	case "labeled":
+		d = rock.GenerateLabeled(rock.LabeledConfig{Records: *n, Classes: *clusters, Seed: *seed})
+	default:
+		fmt.Fprintf(os.Stderr, "rockgen: unknown kind %q\n", *kind)
+		os.Exit(1)
+	}
+	if *format == "" {
+		*format = defFormat
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rockgen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	var err error
+	switch *format {
+	case "csv":
+		err = rock.WriteCSV(w, d)
+	case "basket":
+		err = rock.WriteBasket(w, d)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rockgen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,76 @@
+// Dendrogram: run ROCK once with merge tracing, then cut the dendrogram
+// at several cluster counts without re-running the pipeline, and profile
+// each cluster with its item-frequency histogram.
+//
+//	go run ./examples/dendrogram
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/rockclust/rock"
+)
+
+func main() {
+	d := rock.GenerateBasket(rock.BasketConfig{
+		Transactions:    600,
+		Clusters:        6,
+		TemplateItems:   15,
+		TransactionSize: 10,
+		Seed:            21,
+	})
+
+	res, err := rock.ClusterDataset(d, rock.Config{
+		Theta:       0.4,
+		K:           2, // merge far past the natural structure...
+		Seed:        1,
+		TraceMerges: true, // ...and keep the whole dendrogram
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("one run, %d merges traced; cutting at several k:\n\n", len(res.MergeTrace))
+
+	for _, k := range []int{2, 4, 6, 9} {
+		cut, err := rock.CutTrace(len(res.TracePoints), res.MergeTrace, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("k=%d:", k)
+		for _, members := range cut {
+			// Majority ground-truth template per cluster.
+			counts := map[string]int{}
+			for _, l := range members {
+				counts[d.Labels[res.TracePoints[l]]]++
+			}
+			best, bestN := "", 0
+			for l, n := range counts {
+				if n > bestN {
+					best, bestN = l, n
+				}
+			}
+			fmt.Printf("  [%d×%s %.0f%%]", len(members), best, 100*float64(bestN)/float64(len(members)))
+		}
+		fmt.Println()
+	}
+
+	// Profile the natural clustering (k=6) with histograms.
+	fmt.Println("\ncluster profiles at k=6 (top items by support):")
+	cut, err := rock.CutTrace(len(res.TracePoints), res.MergeTrace, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for ci, members := range cut {
+		orig := make([]int, len(members))
+		for i, l := range members {
+			orig[i] = res.TracePoints[l]
+		}
+		h := rock.BuildHistogram(d.Trans, orig)
+		fmt.Printf("  cluster %d (size %d):", ci, len(members))
+		for _, ic := range h.Top(5) {
+			fmt.Printf(" %s(%.0f%%)", d.Vocab.Name(ic.Item), 100*h.Support(ic.Item))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,59 @@
+// Quickstart: cluster a handful of market-basket transactions with ROCK.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"github.com/rockclust/rock"
+)
+
+func main() {
+	// A tiny shopping log: a dairy crowd, a barbecue crowd, and one
+	// customer who only bought batteries.
+	baskets := `
+milk bread butter eggs
+milk bread butter
+bread butter eggs cheese
+milk eggs cheese
+charcoal beer sausage buns
+beer sausage buns ketchup
+charcoal beer sausage ketchup
+charcoal buns ketchup sausage
+batteries
+`
+	d, err := rock.ReadBasket(strings.NewReader(baskets), rock.BasketOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := rock.Cluster(d.Trans, rock.Config{
+		Theta:        0.3, // neighbors share ≥ 30% of their union
+		K:            2,   // stop at two clusters (or when links run out)
+		MinNeighbors: 1,   // records with no neighbors are outliers
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for ci, members := range res.Clusters {
+		fmt.Printf("cluster %d:\n", ci)
+		for _, p := range members {
+			var items []string
+			for _, it := range d.Trans[p] {
+				items = append(items, d.Vocab.Name(it))
+			}
+			fmt.Printf("  %s\n", strings.Join(items, " "))
+		}
+	}
+	for _, p := range res.Outliers {
+		var items []string
+		for _, it := range d.Trans[p] {
+			items = append(items, d.Vocab.Name(it))
+		}
+		fmt.Printf("outlier: %s\n", strings.Join(items, " "))
+	}
+}

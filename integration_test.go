@@ -1,0 +1,200 @@
+package rock_test
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/rockclust/rock"
+)
+
+// The votes pipeline end to end: ROCK with outlier handling must beat the
+// traditional centroid baseline on clustering error, produce two near-pure
+// party clusters, and set aside a minority of records — the paper's E1/E2
+// shape.
+func TestIntegrationVotesShape(t *testing.T) {
+	d := rock.GenerateVotes(rock.VotesConfig{Seed: 42})
+	res, err := rock.ClusterDataset(d, rock.Config{
+		Theta: 0.56, K: 2, MinNeighbors: 2, WeedAt: 0.03, WeedMaxSize: 2, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K() != 2 {
+		t.Fatalf("k = %d", res.K())
+	}
+	evRock := rock.Evaluate(res.Assign, d.Labels)
+	if evRock.Error > 0.25 {
+		t.Fatalf("ROCK votes error %.3f too high", evRock.Error)
+	}
+	if evRock.Outliers == 0 || evRock.Outliers > d.Len()/5 {
+		t.Fatalf("outliers = %d, want a small minority", evRock.Outliers)
+	}
+	// Each cluster near-pure.
+	for ci, members := range res.Clusters {
+		counts := map[string]int{}
+		for _, p := range members {
+			counts[d.Labels[p]]++
+		}
+		best := 0
+		for _, c := range counts {
+			if c > best {
+				best = c
+			}
+		}
+		if purity := float64(best) / float64(len(members)); purity < 0.75 {
+			t.Fatalf("cluster %d purity %.3f", ci, purity)
+		}
+	}
+
+	trad, err := rock.Hierarchical(d.Trans, rock.HierarchicalConfig{K: 2, Linkage: rock.CentroidLinkage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evTrad := rock.Evaluate(trad.Assign, d.Labels)
+	if evRock.Error >= evTrad.Error {
+		t.Fatalf("ROCK error %.3f not below traditional %.3f", evRock.Error, evTrad.Error)
+	}
+	if evRock.ARI <= evTrad.ARI {
+		t.Fatalf("ROCK ARI %.3f not above traditional %.3f", evRock.ARI, evTrad.ARI)
+	}
+}
+
+// The mushroom pipeline with sampling + labeling: wildly uneven near-pure
+// clusters, early stop past k, at most a couple of mixed clusters — the
+// paper's E4 shape at reduced sample scale.
+func TestIntegrationMushroomSampled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mushroom integration is a second-scale test")
+	}
+	d := rock.GenerateMushroom(rock.MushroomConfig{Seed: 7})
+	res, err := rock.ClusterDataset(d, rock.Config{
+		Theta: 0.8, K: 20, SampleSize: 900, MinNeighbors: 1, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := rock.Evaluate(res.Assign, d.Labels)
+	if ev.Error > 0.08 {
+		t.Fatalf("mushroom error %.3f", ev.Error)
+	}
+	if res.K() < 18 {
+		t.Fatalf("found only %d clusters", res.K())
+	}
+	mixed := 0
+	var sizes []int
+	for _, members := range res.Clusters {
+		e, p := 0, 0
+		for _, pt := range members {
+			if d.Labels[pt] == "edible" {
+				e++
+			} else {
+				p++
+			}
+		}
+		if e > 0 && p > 0 {
+			mixed++
+		}
+		sizes = append(sizes, len(members))
+	}
+	if mixed > 3 {
+		t.Fatalf("%d mixed clusters, want ≤ 3", mixed)
+	}
+	// Size skew: largest cluster must dwarf the smallest.
+	minS, maxS := sizes[0], sizes[0]
+	for _, s := range sizes {
+		if s < minS {
+			minS = s
+		}
+		if s > maxS {
+			maxS = s
+		}
+	}
+	if maxS < 10*minS {
+		t.Fatalf("sizes not skewed: min %d max %d", minS, maxS)
+	}
+}
+
+// The fund universe clusters perfectly by sector at θ=0.8.
+func TestIntegrationFunds(t *testing.T) {
+	d := rock.GenerateFunds(rock.FundsConfig{Days: 300, Seed: 9})
+	res, err := rock.ClusterDataset(d, rock.Config{
+		Theta: 0.8, K: rock.FundSectorCount(), MinNeighbors: 2, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := rock.Evaluate(res.Assign, d.Labels)
+	if ev.Accuracy < 0.97 {
+		t.Fatalf("fund sector accuracy %.3f", ev.Accuracy)
+	}
+}
+
+// Round-trip: a dataset written to the basket format and read back
+// clusters identically.
+func TestIntegrationBasketRoundTrip(t *testing.T) {
+	d := rock.GenerateBasket(rock.BasketConfig{Transactions: 200, Clusters: 3, Seed: 6})
+	var buf bytes.Buffer
+	if err := rock.WriteBasket(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := rock.ReadBasket(&buf, rock.BasketOptions{FirstTokenIsLabel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := rock.Config{Theta: 0.3, K: 3, Seed: 2}
+	a, err := rock.ClusterDataset(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rock.ClusterDataset(d2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.K() != b.K() {
+		t.Fatalf("cluster counts differ after round trip: %d vs %d", a.K(), b.K())
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("assignments differ after round trip")
+		}
+	}
+}
+
+// Bit-for-bit determinism of the full pipeline through the public API.
+func TestIntegrationDeterminism(t *testing.T) {
+	d := rock.GenerateLabeled(rock.LabeledConfig{Records: 300, Classes: 3, Seed: 8})
+	cfg := rock.Config{Theta: 0.35, K: 3, SampleSize: 120, MinNeighbors: 1, WeedAt: 0.1, Seed: 99}
+	a, err := rock.ClusterDataset(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 3; trial++ {
+		b, err := rock.ClusterDataset(d, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a.Assign {
+			if a.Assign[i] != b.Assign[i] {
+				t.Fatalf("trial %d: nondeterministic at point %d", trial, i)
+			}
+		}
+	}
+}
+
+// The sampling + labeling pipeline degrades gracefully: a larger sample
+// never makes the clustering dramatically worse (E7's monotone trend, in
+// coarse form).
+func TestIntegrationSampleQualityTrend(t *testing.T) {
+	d := rock.GenerateBasket(rock.BasketConfig{Transactions: 3000, Clusters: 5, TemplateItems: 15, TransactionSize: 10, Seed: 10})
+	var errs []float64
+	for _, n := range []int{300, 1200} {
+		res, err := rock.ClusterDataset(d, rock.Config{Theta: 0.4, K: 5, SampleSize: n, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs = append(errs, rock.Evaluate(res.Assign, d.Labels).Error)
+	}
+	if errs[1] > errs[0]+0.05 {
+		t.Fatalf("larger sample much worse: %.3f -> %.3f", errs[0], errs[1])
+	}
+}

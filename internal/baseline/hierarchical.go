@@ -1,0 +1,279 @@
+// Package baseline implements the comparison algorithms of the paper's
+// evaluation: the traditional centroid-based agglomerative hierarchical
+// clustering that ROCK is measured against (records embedded as binary
+// vectors, clusters merged by centroid distance), together with the
+// average/single/complete linkage variants, nearest-centroid labeling for
+// out-of-sample points, and the k-modes algorithm of Huang (1998) as an
+// era-standard categorical baseline.
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/rockclust/rock/internal/dataset"
+)
+
+// Linkage selects the cluster-distance update rule.
+type Linkage int
+
+const (
+	// Centroid merges the pair with closest centroids in the binary
+	// embedding — the "traditional hierarchical algorithm" of the paper's
+	// experiments.
+	Centroid Linkage = iota
+	// Average is UPGMA: mean pairwise distance.
+	Average
+	// Single is nearest-neighbor linkage.
+	Single
+	// Complete is farthest-neighbor linkage.
+	Complete
+)
+
+// String names the linkage for reports.
+func (l Linkage) String() string {
+	switch l {
+	case Centroid:
+		return "centroid"
+	case Average:
+		return "average"
+	case Single:
+		return "single"
+	case Complete:
+		return "complete"
+	}
+	return fmt.Sprintf("linkage(%d)", int(l))
+}
+
+// Result is a flat clustering produced by a baseline algorithm.
+type Result struct {
+	Assign   []int   // cluster per point; never -1 for baselines
+	Clusters [][]int // members ascending, clusters ordered by first member
+}
+
+// HierarchicalConfig parameterizes Hierarchical.
+type HierarchicalConfig struct {
+	K       int
+	Linkage Linkage // default Centroid
+}
+
+// Hierarchical runs agglomerative clustering over transactions embedded
+// as binary item vectors, merging by the configured linkage until K
+// clusters remain. Squared Euclidean distances between binary vectors are
+// d²(i,j) = |Ti| + |Tj| − 2|Ti ∩ Tj|; merges update distances with the
+// Lance–Williams recurrences, so centroids are never materialized. Ties
+// break toward smaller indices for determinism. O(n²) space, roughly
+// O(n²·k̄) time — intended for the sample sizes the paper's comparator ran
+// at.
+func Hierarchical(ts []dataset.Transaction, cfg HierarchicalConfig) (*Result, error) {
+	n := len(ts)
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("baseline: k = %d, need at least 1", cfg.K)
+	}
+	res := &Result{Assign: make([]int, n)}
+	if n == 0 {
+		return res, nil
+	}
+
+	// Distance matrix (squared Euclidean) and cluster sizes.
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := float64(len(ts[i]) + len(ts[j]) - 2*ts[i].IntersectSize(ts[j]))
+			dist[i][j], dist[j][i] = d, d
+		}
+	}
+
+	active := make([]bool, n)
+	size := make([]int, n)
+	members := make([][]int, n)
+	for i := range active {
+		active[i] = true
+		size[i] = 1
+		members[i] = []int{i}
+	}
+
+	nearest := make([]int, n)
+	recomputeNearest := func(i int) {
+		nearest[i] = -1
+		best := math.Inf(1)
+		for j := 0; j < n; j++ {
+			if j == i || !active[j] {
+				continue
+			}
+			if dist[i][j] < best || (dist[i][j] == best && j < nearest[i]) {
+				best = dist[i][j]
+				nearest[i] = j
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		recomputeNearest(i)
+	}
+
+	remaining := n
+	for remaining > cfg.K {
+		// Global closest pair via the nearest-neighbor cache.
+		bi, bj, best := -1, -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !active[i] || nearest[i] < 0 {
+				continue
+			}
+			d := dist[i][nearest[i]]
+			if d < best || (d == best && (i < bi || (i == bi && nearest[i] < bj))) {
+				bi, bj, best = i, nearest[i], d
+			}
+		}
+		if bi < 0 {
+			break // fewer than two active clusters
+		}
+		if bj < bi {
+			bi, bj = bj, bi
+		}
+
+		// Lance–Williams update of row bi (the merged cluster).
+		ni, nj := float64(size[bi]), float64(size[bj])
+		dij := dist[bi][bj]
+		for k := 0; k < n; k++ {
+			if !active[k] || k == bi || k == bj {
+				continue
+			}
+			dik, djk := dist[bi][k], dist[bj][k]
+			var d float64
+			switch cfg.Linkage {
+			case Centroid:
+				d = (ni*dik+nj*djk)/(ni+nj) - ni*nj*dij/((ni+nj)*(ni+nj))
+			case Average:
+				d = (ni*dik + nj*djk) / (ni + nj)
+			case Single:
+				d = math.Min(dik, djk)
+			case Complete:
+				d = math.Max(dik, djk)
+			}
+			dist[bi][k], dist[k][bi] = d, d
+		}
+		active[bj] = false
+		size[bi] += size[bj]
+		members[bi] = append(members[bi], members[bj]...)
+		members[bj] = nil
+		remaining--
+
+		// Refresh nearest caches invalidated by the merge.
+		recomputeNearest(bi)
+		for i := 0; i < n; i++ {
+			if !active[i] || i == bi {
+				continue
+			}
+			if nearest[i] == bi || nearest[i] == bj {
+				recomputeNearest(i)
+			} else if dist[i][bi] < dist[i][nearest[i]] ||
+				(dist[i][bi] == dist[i][nearest[i]] && bi < nearest[i]) {
+				nearest[i] = bi
+			}
+		}
+	}
+
+	// Emit clusters ordered by smallest member.
+	for i := 0; i < n; i++ {
+		if active[i] {
+			sort.Ints(members[i])
+			res.Clusters = append(res.Clusters, members[i])
+		}
+	}
+	sort.Slice(res.Clusters, func(a, b int) bool { return res.Clusters[a][0] < res.Clusters[b][0] })
+	for ci, m := range res.Clusters {
+		for _, p := range m {
+			res.Assign[p] = ci
+		}
+	}
+	return res, nil
+}
+
+// sparseCentroid is the mean binary vector of a cluster, stored sparsely.
+type sparseCentroid struct {
+	weights map[dataset.Item]float64
+	sqNorm  float64
+}
+
+// Centroids materializes cluster centroids in the binary embedding, for
+// nearest-centroid labeling of out-of-sample points.
+func Centroids(ts []dataset.Transaction, clusters [][]int) []sparseCentroid {
+	out := make([]sparseCentroid, len(clusters))
+	for ci, members := range clusters {
+		w := make(map[dataset.Item]float64)
+		for _, p := range members {
+			for _, it := range ts[p] {
+				w[it]++
+			}
+		}
+		inv := 1 / float64(len(members))
+		var sq float64
+		for it := range w {
+			w[it] *= inv
+			sq += w[it] * w[it]
+		}
+		out[ci] = sparseCentroid{weights: w, sqNorm: sq}
+	}
+	return out
+}
+
+// NearestCentroid returns the index of the centroid closest (squared
+// Euclidean) to transaction t, breaking ties toward the lower index.
+func NearestCentroid(t dataset.Transaction, cents []sparseCentroid) int {
+	best, bestD := -1, math.Inf(1)
+	for ci, c := range cents {
+		dot := 0.0
+		for _, it := range t {
+			dot += c.weights[it]
+		}
+		d := float64(len(t)) - 2*dot + c.sqNorm
+		if d < bestD {
+			best, bestD = ci, d
+		}
+	}
+	return best
+}
+
+// HierarchicalSampled clusters a prefix-free uniform sample of ts and
+// assigns the remaining points to the nearest centroid — the scalable
+// variant used when the comparator cannot run on the full dataset.
+// sampleIdx must be ascending; points outside it are labeled.
+func HierarchicalSampled(ts []dataset.Transaction, sampleIdx []int, cfg HierarchicalConfig) (*Result, error) {
+	local := make([]dataset.Transaction, len(sampleIdx))
+	for i, j := range sampleIdx {
+		local[i] = ts[j]
+	}
+	sub, err := Hierarchical(local, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Assign: make([]int, len(ts)), Clusters: make([][]int, len(sub.Clusters))}
+	for ci, m := range sub.Clusters {
+		for _, l := range m {
+			res.Clusters[ci] = append(res.Clusters[ci], sampleIdx[l])
+		}
+	}
+	cents := Centroids(ts, res.Clusters)
+	inSample := make(map[int]bool, len(sampleIdx))
+	for _, j := range sampleIdx {
+		inSample[j] = true
+	}
+	for p := range ts {
+		if inSample[p] {
+			continue
+		}
+		ci := NearestCentroid(ts[p], cents)
+		res.Clusters[ci] = append(res.Clusters[ci], p)
+	}
+	for ci := range res.Clusters {
+		sort.Ints(res.Clusters[ci])
+		for _, p := range res.Clusters[ci] {
+			res.Assign[p] = ci
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,141 @@
+package baseline
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/rockclust/rock/internal/dataset"
+)
+
+func tr(items ...dataset.Item) dataset.Transaction { return dataset.NewTransaction(items...) }
+
+func TestHierarchicalTwoBlobs(t *testing.T) {
+	// Two tight groups in the binary embedding.
+	ts := []dataset.Transaction{
+		tr(1, 2, 3), tr(1, 2, 3, 4), tr(1, 2, 4),
+		tr(10, 11, 12), tr(10, 11, 13), tr(10, 12, 13),
+	}
+	for _, link := range []Linkage{Centroid, Average, Single, Complete} {
+		res, err := Hierarchical(ts, HierarchicalConfig{K: 2, Linkage: link})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := [][]int{{0, 1, 2}, {3, 4, 5}}
+		if !reflect.DeepEqual(res.Clusters, want) {
+			t.Fatalf("%v linkage: clusters = %v", link, res.Clusters)
+		}
+		for p, c := range res.Assign {
+			if c != p/3 {
+				t.Fatalf("%v linkage: Assign = %v", link, res.Assign)
+			}
+		}
+	}
+}
+
+// The paper's motivating failure case: with transactions from two logical
+// clusters whose binary vectors are close in Euclidean terms, centroid
+// merging chains across the boundary. ROCK's links fix this; here we only
+// pin down that the baseline behaves as the baseline (it splits the data
+// somehow and is deterministic).
+func TestHierarchicalDeterminism(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	var ts []dataset.Transaction
+	for i := 0; i < 40; i++ {
+		items := make([]dataset.Item, 5)
+		for k := range items {
+			items[k] = dataset.Item(r.Intn(30))
+		}
+		ts = append(ts, dataset.NewTransaction(items...))
+	}
+	a, err := Hierarchical(ts, HierarchicalConfig{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 5; trial++ {
+		b, _ := Hierarchical(ts, HierarchicalConfig{K: 4})
+		if !reflect.DeepEqual(a.Clusters, b.Clusters) {
+			t.Fatal("nondeterministic hierarchical clustering")
+		}
+	}
+	if len(a.Clusters) != 4 {
+		t.Fatalf("k = %d", len(a.Clusters))
+	}
+	// Partition check.
+	seen := map[int]bool{}
+	for _, c := range a.Clusters {
+		for _, p := range c {
+			if seen[p] {
+				t.Fatal("duplicate point")
+			}
+			seen[p] = true
+		}
+	}
+	if len(seen) != len(ts) {
+		t.Fatal("not a partition")
+	}
+}
+
+func TestHierarchicalValidationAndEdges(t *testing.T) {
+	if _, err := Hierarchical(nil, HierarchicalConfig{K: 0}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	res, err := Hierarchical(nil, HierarchicalConfig{K: 3})
+	if err != nil || len(res.Clusters) != 0 {
+		t.Fatal("empty input mishandled")
+	}
+	res, err = Hierarchical([]dataset.Transaction{tr(1)}, HierarchicalConfig{K: 5})
+	if err != nil || len(res.Clusters) != 1 {
+		t.Fatal("k larger than n mishandled")
+	}
+}
+
+func TestCentroidsAndNearest(t *testing.T) {
+	ts := []dataset.Transaction{tr(1, 2), tr(1, 2, 3), tr(10, 11), tr(10, 12)}
+	cents := Centroids(ts, [][]int{{0, 1}, {2, 3}})
+	if got := NearestCentroid(tr(1, 2, 3), cents); got != 0 {
+		t.Fatalf("NearestCentroid = %d, want 0", got)
+	}
+	if got := NearestCentroid(tr(10, 11, 12), cents); got != 1 {
+		t.Fatalf("NearestCentroid = %d, want 1", got)
+	}
+	// Centroid weights: item 1 appears in both members of cluster 0.
+	if w := cents[0].weights[dataset.Item(tr(1)[0])]; w != 1 {
+		t.Fatalf("weight = %g, want 1", w)
+	}
+}
+
+func TestHierarchicalSampled(t *testing.T) {
+	// 30 points in two groups; cluster a 10-point sample, label the rest.
+	var ts []dataset.Transaction
+	for i := 0; i < 15; i++ {
+		ts = append(ts, tr(1, 2, dataset.Item(3+i%3)))
+	}
+	for i := 0; i < 15; i++ {
+		ts = append(ts, tr(20, 21, dataset.Item(22+i%3)))
+	}
+	sample := []int{0, 2, 4, 6, 8, 15, 17, 19, 21, 23}
+	res, err := HierarchicalSampled(ts, sample, HierarchicalConfig{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 2 {
+		t.Fatalf("k = %d", len(res.Clusters))
+	}
+	total := 0
+	for ci, c := range res.Clusters {
+		total += len(c)
+		for _, p := range c {
+			want := 0
+			if p >= 15 {
+				want = 1
+			}
+			if ci != want {
+				t.Fatalf("point %d in cluster %d", p, ci)
+			}
+		}
+	}
+	if total != 30 {
+		t.Fatalf("labeled %d of 30", total)
+	}
+}

@@ -1,0 +1,243 @@
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/rockclust/rock/internal/dataset"
+)
+
+// KModesConfig parameterizes KModes.
+type KModesConfig struct {
+	K       int
+	MaxIter int // default 100
+	Seed    int64
+	// FirstKDistinct seeds the modes with the first K distinct records in
+	// input order (the initialization used when comparing against ROCK's
+	// published numbers); otherwise K random records are picked.
+	FirstKDistinct bool
+	// Restarts runs the algorithm this many times with seeds Seed,
+	// Seed+1, ... and keeps the lowest-cost clustering, the standard
+	// mitigation for k-modes' sensitivity to initialization. Default 1;
+	// ignored with FirstKDistinct (which is deterministic).
+	Restarts int
+}
+
+// KModesResult is a k-modes clustering with its final cost (total
+// mismatch distance of records to their modes).
+type KModesResult struct {
+	Result
+	Modes []dataset.Record
+	Cost  int
+	Iters int
+}
+
+// KModes implements Huang's k-modes algorithm: k-means over categorical
+// records with the simple-matching dissimilarity (count of mismatched
+// attributes) and cluster "modes" (attribute-wise most frequent values)
+// in place of means. Assignment ties break toward the lower cluster
+// index; mode ties toward the lexicographically smaller value — the run
+// is deterministic given the seed.
+func KModes(records []dataset.Record, cfg KModesConfig) (*KModesResult, error) {
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("baseline: k-modes k = %d, need at least 1", cfg.K)
+	}
+	if cfg.Restarts > 1 && !cfg.FirstKDistinct {
+		var best *KModesResult
+		for r := 0; r < cfg.Restarts; r++ {
+			c := cfg
+			c.Restarts = 1
+			c.Seed = cfg.Seed + int64(r)
+			res, err := KModes(records, c)
+			if err != nil {
+				return nil, err
+			}
+			if best == nil || res.Cost < best.Cost {
+				best = res
+			}
+		}
+		return best, nil
+	}
+	n := len(records)
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = 100
+	}
+	res := &KModesResult{Result: Result{Assign: make([]int, n)}}
+	if n == 0 {
+		return res, nil
+	}
+	if cfg.K > n {
+		cfg.K = n
+	}
+	width := 0
+	for _, r := range records {
+		if len(r) > width {
+			width = len(r)
+		}
+	}
+
+	// Initialize modes.
+	modes := initModes(records, cfg, width)
+	k := len(modes)
+
+	assign := res.Assign
+	for i := range assign {
+		assign[i] = -1
+	}
+	var iters int
+	for iters = 0; iters < cfg.MaxIter; iters++ {
+		changed := false
+		for i, r := range records {
+			best, bestD := 0, width+1
+			for c := 0; c < k; c++ {
+				if d := mismatch(r, modes[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		modes = updateModes(records, assign, k, width, modes)
+	}
+
+	res.Iters = iters
+	res.Modes = modes
+	for i, r := range records {
+		res.Cost += mismatch(r, modes[assign[i]])
+	}
+	// Compact clusters (drop empties) and re-number deterministically,
+	// keeping modes aligned with the renumbered clusters.
+	groups := make([][]int, k)
+	for i, c := range assign {
+		groups[c] = append(groups[c], i)
+	}
+	type pair struct {
+		members []int
+		mode    dataset.Record
+	}
+	var pairs []pair
+	for c, g := range groups {
+		if len(g) > 0 {
+			pairs = append(pairs, pair{g, modes[c]})
+		}
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].members[0] < pairs[b].members[0] })
+	res.Modes = res.Modes[:0]
+	for ci, p := range pairs {
+		res.Clusters = append(res.Clusters, p.members)
+		res.Modes = append(res.Modes, p.mode)
+		for _, pt := range p.members {
+			assign[pt] = ci
+		}
+	}
+	return res, nil
+}
+
+// mismatch is the simple-matching dissimilarity: the number of attributes
+// on which the record and mode differ. Missing values ("?") compare like
+// ordinary values, following Huang's treatment of missing data as a
+// category of its own.
+func mismatch(r, m dataset.Record) int {
+	d := 0
+	for a := 0; a < len(m); a++ {
+		var v string
+		if a < len(r) {
+			v = r[a]
+		}
+		if v != m[a] {
+			d++
+		}
+	}
+	return d
+}
+
+func initModes(records []dataset.Record, cfg KModesConfig, width int) []dataset.Record {
+	var picks []int
+	if cfg.FirstKDistinct {
+		seen := map[string]bool{}
+		for i, r := range records {
+			key := fmt.Sprint([]string(r))
+			if !seen[key] {
+				seen[key] = true
+				picks = append(picks, i)
+				if len(picks) == cfg.K {
+					break
+				}
+			}
+		}
+	} else {
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		perm := rng.Perm(len(records))
+		picks = perm[:cfg.K]
+		sort.Ints(picks)
+	}
+	modes := make([]dataset.Record, len(picks))
+	for c, i := range picks {
+		m := make(dataset.Record, width)
+		copy(m, records[i])
+		modes[c] = m
+	}
+	return modes
+}
+
+// updateModes recomputes each cluster's attribute-wise most frequent
+// values. Empty clusters keep their previous mode.
+func updateModes(records []dataset.Record, assign []int, k, width int, prev []dataset.Record) []dataset.Record {
+	counts := make([]map[string]int, k*width)
+	sizes := make([]int, k)
+	for i := range counts {
+		counts[i] = map[string]int{}
+	}
+	for i, r := range records {
+		c := assign[i]
+		sizes[c]++
+		for a := 0; a < width; a++ {
+			var v string
+			if a < len(r) {
+				v = r[a]
+			}
+			counts[c*width+a][v]++
+		}
+	}
+	modes := make([]dataset.Record, k)
+	for c := 0; c < k; c++ {
+		if sizes[c] == 0 {
+			modes[c] = prev[c]
+			continue
+		}
+		m := make(dataset.Record, width)
+		for a := 0; a < width; a++ {
+			bestV, bestN := "", -1
+			cnt := counts[c*width+a]
+			keys := make([]string, 0, len(cnt))
+			for v := range cnt {
+				keys = append(keys, v)
+			}
+			sort.Strings(keys)
+			for _, v := range keys {
+				if cnt[v] > bestN {
+					bestV, bestN = v, cnt[v]
+				}
+			}
+			m[a] = bestV
+		}
+		modes[c] = m
+	}
+	return modes
+}
+
+// RecordsOf reconstructs the categorical records of a dataset built with
+// dataset.EncodeRecords, for feeding record-based baselines like k-modes.
+func RecordsOf(d *dataset.Dataset) []dataset.Record {
+	records := make([]dataset.Record, d.Len())
+	for i, t := range d.Trans {
+		records[i] = dataset.DecodeRecord(d, t)
+	}
+	return records
+}

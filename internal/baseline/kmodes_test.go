@@ -1,0 +1,127 @@
+package baseline
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/rockclust/rock/internal/dataset"
+	"github.com/rockclust/rock/internal/synth"
+)
+
+func TestKModesTwoGroups(t *testing.T) {
+	records := []dataset.Record{
+		{"a", "x", "1"}, {"a", "x", "2"}, {"a", "x", "1"},
+		{"b", "y", "9"}, {"b", "y", "8"}, {"b", "y", "9"},
+	}
+	res, err := KModes(records, KModesConfig{K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{{0, 1, 2}, {3, 4, 5}}
+	if !reflect.DeepEqual(res.Clusters, want) {
+		t.Fatalf("clusters = %v", res.Clusters)
+	}
+	// Modes are the attribute-wise majorities.
+	if res.Modes[0][0] != "a" || res.Modes[0][1] != "x" || res.Modes[0][2] != "1" {
+		t.Fatalf("mode 0 = %v", res.Modes[0])
+	}
+	// Cost: each cluster has one record off by one attribute.
+	if res.Cost != 2 {
+		t.Fatalf("cost = %d, want 2", res.Cost)
+	}
+}
+
+func TestKModesFirstKDistinctInit(t *testing.T) {
+	records := []dataset.Record{
+		{"a", "x"}, {"a", "x"}, {"b", "y"}, {"b", "y"},
+	}
+	res, err := KModes(records, KModesConfig{K: 2, FirstKDistinct: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 2 {
+		t.Fatalf("clusters = %v", res.Clusters)
+	}
+}
+
+func TestKModesDeterministicPerSeed(t *testing.T) {
+	d := synth.Labeled(synth.LabeledConfig{Records: 200, Classes: 4, Seed: 9})
+	records := RecordsOf(d)
+	a, _ := KModes(records, KModesConfig{K: 4, Seed: 5})
+	b, _ := KModes(records, KModesConfig{K: 4, Seed: 5})
+	if !reflect.DeepEqual(a.Clusters, b.Clusters) || a.Cost != b.Cost {
+		t.Fatal("same seed produced different k-modes runs")
+	}
+}
+
+func TestKModesRecoversSeparableClasses(t *testing.T) {
+	d := synth.Labeled(synth.LabeledConfig{Records: 400, Classes: 4, Noise: 0.05, Seed: 11})
+	records := RecordsOf(d)
+	res, err := KModes(records, KModesConfig{K: 4, Seed: 3, Restarts: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Majority-class accuracy should be high on well-separated data.
+	correct := 0
+	for _, members := range res.Clusters {
+		counts := map[string]int{}
+		for _, p := range members {
+			counts[d.Labels[p]]++
+		}
+		best := 0
+		for _, c := range counts {
+			if c > best {
+				best = c
+			}
+		}
+		correct += best
+	}
+	if acc := float64(correct) / float64(len(records)); acc < 0.9 {
+		t.Fatalf("k-modes accuracy %g < 0.9", acc)
+	}
+}
+
+// The k-modes objective never increases across a full run: compare cost at
+// convergence against the cost after a single iteration.
+func TestKModesCostImproves(t *testing.T) {
+	d := synth.Labeled(synth.LabeledConfig{Records: 300, Classes: 3, Noise: 0.2, Seed: 13})
+	records := RecordsOf(d)
+	one, _ := KModes(records, KModesConfig{K: 3, Seed: 2, MaxIter: 1})
+	full, _ := KModes(records, KModesConfig{K: 3, Seed: 2})
+	if full.Cost > one.Cost {
+		t.Fatalf("cost rose from %d to %d", one.Cost, full.Cost)
+	}
+	if full.Iters < 1 {
+		t.Fatal("no iterations recorded")
+	}
+}
+
+func TestKModesEdges(t *testing.T) {
+	if _, err := KModes(nil, KModesConfig{K: 0}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	res, err := KModes(nil, KModesConfig{K: 2})
+	if err != nil || len(res.Clusters) != 0 {
+		t.Fatal("empty input mishandled")
+	}
+	// K > n clamps.
+	res, err = KModes([]dataset.Record{{"a"}, {"b"}}, KModesConfig{K: 5, Seed: 1})
+	if err != nil || len(res.Clusters) != 2 {
+		t.Fatalf("k>n mishandled: %v", res.Clusters)
+	}
+	// Ragged records are padded with empty values.
+	res, err = KModes([]dataset.Record{{"a", "x"}, {"a"}}, KModesConfig{K: 1, Seed: 1})
+	if err != nil || len(res.Clusters) != 1 {
+		t.Fatal("ragged records mishandled")
+	}
+}
+
+func TestRecordsOfRoundTrip(t *testing.T) {
+	attrs := []string{"p", "q"}
+	in := []dataset.Record{{"1", "2"}, {"3", dataset.Missing}}
+	d := dataset.EncodeRecords(attrs, in, nil, dataset.EncodeOptions{})
+	out := RecordsOf(d)
+	if !reflect.DeepEqual(out, in) {
+		t.Fatalf("RecordsOf = %v, want %v", out, in)
+	}
+}

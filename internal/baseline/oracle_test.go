@@ -1,0 +1,212 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/rockclust/rock/internal/dataset"
+)
+
+// naiveCentroidCluster is an independent oracle for the Lance–Williams
+// centroid path: it keeps explicit mean vectors, recomputes every
+// centroid distance from scratch each step, and merges the globally
+// closest pair with the same tie-break (smallest indices). The
+// Lance–Williams recurrence is an algebraic identity for squared
+// centroid distances, so the two implementations must agree bit-for-bit
+// up to floating-point noise.
+func naiveCentroidCluster(ts []dataset.Transaction, k int) [][]int {
+	n := len(ts)
+	dim := 0
+	for _, t := range ts {
+		for _, it := range t {
+			if int(it) >= dim {
+				dim = int(it) + 1
+			}
+		}
+	}
+	type blob struct {
+		sum     []float64
+		members []int
+	}
+	blobs := make([]*blob, n)
+	for i, t := range ts {
+		b := &blob{sum: make([]float64, dim), members: []int{i}}
+		for _, it := range t {
+			b.sum[it] = 1
+		}
+		blobs[i] = b
+	}
+	dist := func(a, b *blob) float64 {
+		na, nb := float64(len(a.members)), float64(len(b.members))
+		d := 0.0
+		for x := 0; x < dim; x++ {
+			diff := a.sum[x]/na - b.sum[x]/nb
+			d += diff * diff
+		}
+		return d
+	}
+	active := n
+	for active > k {
+		bi, bj, best := -1, -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if blobs[i] == nil {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if blobs[j] == nil {
+					continue
+				}
+				if d := dist(blobs[i], blobs[j]); d < best-1e-12 {
+					bi, bj, best = i, j, d
+				}
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		a, b := blobs[bi], blobs[bj]
+		for x := 0; x < dim; x++ {
+			a.sum[x] += b.sum[x]
+		}
+		a.members = append(a.members, b.members...)
+		blobs[bj] = nil
+		active--
+	}
+	var out [][]int
+	for _, b := range blobs {
+		if b == nil {
+			continue
+		}
+		ms := append([]int(nil), b.members...)
+		sortInts(ms)
+		out = append(out, ms)
+	}
+	sortGroups(out)
+	return out
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func sortGroups(g [][]int) {
+	for i := 1; i < len(g); i++ {
+		for j := i; j > 0 && g[j][0] < g[j-1][0]; j-- {
+			g[j], g[j-1] = g[j-1], g[j]
+		}
+	}
+}
+
+func TestHierarchicalAgainstExplicitCentroidOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 8; trial++ {
+		n := 8 + r.Intn(16)
+		ts := make([]dataset.Transaction, n)
+		for i := range ts {
+			items := make([]dataset.Item, 3+r.Intn(4))
+			for k := range items {
+				items[k] = dataset.Item(r.Intn(25))
+			}
+			ts[i] = dataset.NewTransaction(items...)
+		}
+		k := 2 + r.Intn(3)
+		got, err := Hierarchical(ts, HierarchicalConfig{K: k, Linkage: Centroid})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := naiveCentroidCluster(ts, k)
+		if !reflect.DeepEqual(got.Clusters, want) {
+			t.Fatalf("trial %d (n=%d k=%d):\nLance-Williams: %v\noracle:         %v", trial, n, k, got.Clusters, want)
+		}
+	}
+}
+
+// Average linkage has its own identity: d(A∪B, C) is the size-weighted
+// mean of d(A,C), d(B,C) — verify against explicit all-pairs averaging.
+func TestAverageLinkageAgainstOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(93))
+	n := 14
+	ts := make([]dataset.Transaction, n)
+	for i := range ts {
+		items := make([]dataset.Item, 3+r.Intn(3))
+		for k := range items {
+			items[k] = dataset.Item(r.Intn(20))
+		}
+		ts[i] = dataset.NewTransaction(items...)
+	}
+	got, err := Hierarchical(ts, HierarchicalConfig{K: 3, Linkage: Average})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := naiveAverageCluster(ts, 3)
+	if !reflect.DeepEqual(got.Clusters, want) {
+		t.Fatalf("average linkage:\nLance-Williams: %v\noracle:         %v", got.Clusters, want)
+	}
+}
+
+func naiveAverageCluster(ts []dataset.Transaction, k int) [][]int {
+	n := len(ts)
+	d0 := make([][]float64, n)
+	for i := range d0 {
+		d0[i] = make([]float64, n)
+		for j := range d0[i] {
+			d0[i][j] = float64(len(ts[i]) + len(ts[j]) - 2*ts[i].IntersectSize(ts[j]))
+		}
+	}
+	groups := make([][]int, n)
+	for i := range groups {
+		groups[i] = []int{i}
+	}
+	dist := func(a, b []int) float64 {
+		s := 0.0
+		for _, x := range a {
+			for _, y := range b {
+				s += d0[x][y]
+			}
+		}
+		return s / float64(len(a)*len(b))
+	}
+	for len(activeGroups(groups)) > k {
+		act := activeGroups(groups)
+		bi, bj, best := -1, -1, math.Inf(1)
+		for ai := 0; ai < len(act); ai++ {
+			for aj := ai + 1; aj < len(act); aj++ {
+				if d := dist(groups[act[ai]], groups[act[aj]]); d < best-1e-12 {
+					bi, bj, best = act[ai], act[aj], d
+				}
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		groups[bi] = append(groups[bi], groups[bj]...)
+		groups[bj] = nil
+	}
+	var out [][]int
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		ms := append([]int(nil), g...)
+		sortInts(ms)
+		out = append(out, ms)
+	}
+	sortGroups(out)
+	return out
+}
+
+func activeGroups(groups [][]int) []int {
+	var out []int
+	for i, g := range groups {
+		if g != nil {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+// Package bitset provides a fixed-size bit set with the population-count
+// operations needed for dense link computation (link(p,q) is the popcount
+// of the AND of two neighbor rows) and for binary encodings of
+// transactions in the centroid baseline.
+package bitset
+
+import "math/bits"
+
+// Set is a fixed-capacity bit set. The zero value has capacity 0; use New.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns a set of capacity n bits, all clear.
+func New(n int) *Set {
+	return &Set{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len reports the capacity in bits.
+func (s *Set) Len() int { return s.n }
+
+// Set turns bit i on. It panics if i is out of range, mirroring slice
+// indexing.
+func (s *Set) Set(i int) {
+	if i < 0 || i >= s.n {
+		panic("bitset: index out of range")
+	}
+	s.words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Clear turns bit i off.
+func (s *Set) Clear(i int) {
+	if i < 0 || i >= s.n {
+		panic("bitset: index out of range")
+	}
+	s.words[i>>6] &^= 1 << (uint(i) & 63)
+}
+
+// Get reports whether bit i is on.
+func (s *Set) Get(i int) bool {
+	if i < 0 || i >= s.n {
+		panic("bitset: index out of range")
+	}
+	return s.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// AndCount returns |s ∩ t| without allocating. The sets must have the same
+// capacity.
+func (s *Set) AndCount(t *Set) int {
+	if s.n != t.n {
+		panic("bitset: mismatched capacities")
+	}
+	c := 0
+	for i, w := range s.words {
+		c += bits.OnesCount64(w & t.words[i])
+	}
+	return c
+}
+
+// OrCount returns |s ∪ t|.
+func (s *Set) OrCount(t *Set) int {
+	if s.n != t.n {
+		panic("bitset: mismatched capacities")
+	}
+	c := 0
+	for i, w := range s.words {
+		c += bits.OnesCount64(w | t.words[i])
+	}
+	return c
+}
+
+// Or sets s to s ∪ t.
+func (s *Set) Or(t *Set) {
+	if s.n != t.n {
+		panic("bitset: mismatched capacities")
+	}
+	for i := range s.words {
+		s.words[i] |= t.words[i]
+	}
+}
+
+// Clone returns an independent copy.
+func (s *Set) Clone() *Set {
+	c := &Set{words: make([]uint64, len(s.words)), n: s.n}
+	copy(c.words, s.words)
+	return c
+}
+
+// Ones returns the indices of set bits in ascending order.
+func (s *Set) Ones() []int {
+	out := make([]int, 0, s.Count())
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, wi*64+b)
+			w &= w - 1
+		}
+	}
+	return out
+}

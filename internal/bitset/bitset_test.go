@@ -1,0 +1,115 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSetGetClear(t *testing.T) {
+	s := New(130) // crosses word boundaries
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		s.Set(i)
+		if !s.Get(i) {
+			t.Fatalf("Get(%d) false after Set", i)
+		}
+	}
+	if s.Count() != 8 {
+		t.Fatalf("Count = %d, want 8", s.Count())
+	}
+	s.Clear(64)
+	if s.Get(64) || s.Count() != 7 {
+		t.Fatal("Clear failed")
+	}
+	if s.Get(2) {
+		t.Fatal("unset bit reads true")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	s := New(10)
+	for _, f := range []func(){func() { s.Set(10) }, func() { s.Get(-1) }, func() { s.Clear(99) }} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAndOrCounts(t *testing.T) {
+	a, b := New(200), New(200)
+	for i := 0; i < 200; i += 2 {
+		a.Set(i)
+	}
+	for i := 0; i < 200; i += 3 {
+		b.Set(i)
+	}
+	// multiples of 6 in [0,200): 34 values (0..198).
+	if got := a.AndCount(b); got != 34 {
+		t.Fatalf("AndCount = %d, want 34", got)
+	}
+	// |A|=100, |B|=67, |A∩B|=34 → union 133.
+	if got := a.OrCount(b); got != 133 {
+		t.Fatalf("OrCount = %d, want 133", got)
+	}
+}
+
+func TestMismatchedCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched capacities")
+		}
+	}()
+	New(10).AndCount(New(20))
+}
+
+func TestOrAndCloneAndOnes(t *testing.T) {
+	a, b := New(70), New(70)
+	a.Set(1)
+	b.Set(69)
+	c := a.Clone()
+	a.Or(b)
+	if !a.Get(69) || !a.Get(1) {
+		t.Fatal("Or failed")
+	}
+	if c.Get(69) {
+		t.Fatal("Clone not independent")
+	}
+	ones := a.Ones()
+	if len(ones) != 2 || ones[0] != 1 || ones[1] != 69 {
+		t.Fatalf("Ones = %v", ones)
+	}
+}
+
+func TestAgainstMapModel(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	const n = 300
+	s := New(n)
+	model := map[int]bool{}
+	for step := 0; step < 4000; step++ {
+		i := r.Intn(n)
+		if r.Intn(2) == 0 {
+			s.Set(i)
+			model[i] = true
+		} else {
+			s.Clear(i)
+			delete(model, i)
+		}
+	}
+	if s.Count() != len(model) {
+		t.Fatalf("Count = %d, model %d", s.Count(), len(model))
+	}
+	for i := 0; i < n; i++ {
+		if s.Get(i) != model[i] {
+			t.Fatalf("bit %d: set %v model %v", i, s.Get(i), model[i])
+		}
+	}
+	for _, i := range s.Ones() {
+		if !model[i] {
+			t.Fatalf("Ones reported unset bit %d", i)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/rockclust/rock/internal/linkage"
+	"github.com/rockclust/rock/internal/pqueue"
+)
+
+// clus is one active cluster in the agglomeration: its members (local
+// point indices), its cross-link counts to every other linked cluster, and
+// a local max-heap of those clusters ordered by merge goodness — the
+// paper's q[i].
+type clus struct {
+	size    int
+	members []int32
+	links   map[int]int
+	heap    *pqueue.Heap
+}
+
+// engineResult is the raw outcome of agglomeration over local indices
+// [0,n).
+type engineResult struct {
+	clusters     [][]int // members, each sorted ascending; ordered by first member
+	weeded       []int   // members of clusters discarded at the weeding checkpoint
+	merges       int
+	stoppedEarly bool        // ran out of cross links before reaching k clusters
+	trace        []MergeStep // populated when tracing is requested
+}
+
+// agglomerate runs ROCK's clustering phase: starting from n singleton
+// clusters whose pairwise links are given by lt, repeatedly merge the pair
+// with maximal goodness until k clusters remain or no two clusters share a
+// link. A global heap holds, for every cluster, the goodness of its best
+// local pair; each merge rebuilds the merged cluster's link map as the sum
+// of its parents' and updates both heaps of every affected cluster —
+// exactly the paper's algorithm, O(n² log n) worst case.
+//
+// If weedTrigger > 0, the first time the number of active clusters falls
+// to weedTrigger, clusters of size ≤ weedMaxSize are discarded as outliers
+// (the paper's device for isolating stray points that merge with nothing).
+func agglomerate(n int, lt *linkage.Table, k int, good GoodnessFunc, f float64, weedTrigger, weedMaxSize int, trace bool) engineResult {
+	clusters := make(map[int]*clus, n)
+	global := pqueue.New()
+	for i := 0; i < n; i++ {
+		clusters[i] = &clus{
+			size:    1,
+			members: []int32{int32(i)},
+			links:   make(map[int]int, lt.Degree(i)),
+			heap:    pqueue.New(),
+		}
+	}
+	for i := 0; i < n; i++ {
+		c := clusters[i]
+		for j32, cnt := range lt.Adj[i] {
+			j := int(j32)
+			c.links[j] = int(cnt)
+			c.heap.Set(j, good(int(cnt), 1, 1, f))
+		}
+		updateGlobal(global, i, c)
+	}
+
+	var res engineResult
+	nextID := n
+	active := n
+	weedDone := weedTrigger <= 0
+
+	for active > k {
+		u, g, ok := global.Pop()
+		if !ok || g <= 0 {
+			res.stoppedEarly = true
+			break
+		}
+		cu := clusters[u]
+		v, _, ok := cu.heap.Peek()
+		if !ok {
+			continue // defensively skip clusters that lost all links
+		}
+		cv := clusters[v]
+		global.Remove(v)
+
+		w := nextID
+		nextID++
+		if trace {
+			res.trace = append(res.trace, MergeStep{
+				A: u, B: v, Into: w,
+				Goodness: g, Links: cu.links[v],
+				SizeA: cu.size, SizeB: cv.size,
+				Remaining: active - 1,
+			})
+		}
+		cw := &clus{
+			size:    cu.size + cv.size,
+			members: append(cu.members, cv.members...),
+			links:   make(map[int]int, len(cu.links)+len(cv.links)),
+			heap:    pqueue.New(),
+		}
+		for x, cnt := range cu.links {
+			if x != v {
+				cw.links[x] = cnt
+			}
+		}
+		for x, cnt := range cv.links {
+			if x != u {
+				cw.links[x] += cnt
+			}
+		}
+		delete(clusters, u)
+		delete(clusters, v)
+		clusters[w] = cw
+
+		for x, cnt := range cw.links {
+			cx := clusters[x]
+			delete(cx.links, u)
+			delete(cx.links, v)
+			cx.links[w] = cnt
+			cx.heap.Remove(u)
+			cx.heap.Remove(v)
+			gx := good(cnt, cw.size, cx.size, f)
+			cx.heap.Set(w, gx)
+			cw.heap.Set(x, gx)
+			updateGlobal(global, x, cx)
+		}
+		updateGlobal(global, w, cw)
+
+		active--
+		res.merges++
+
+		if !weedDone && active <= weedTrigger {
+			weedDone = true
+			active -= weed(clusters, global, weedMaxSize, &res)
+		}
+	}
+
+	// Collect surviving clusters deterministically: members ascending,
+	// clusters ordered by their smallest member.
+	for _, c := range clusters {
+		m := make([]int, len(c.members))
+		for i, v := range c.members {
+			m[i] = int(v)
+		}
+		sort.Ints(m)
+		res.clusters = append(res.clusters, m)
+	}
+	sort.Slice(res.clusters, func(i, j int) bool { return res.clusters[i][0] < res.clusters[j][0] })
+	sort.Ints(res.weeded)
+	return res
+}
+
+// weed removes clusters of size ≤ maxSize, detaching them from every
+// surviving cluster's link map and heaps. It returns the number of
+// clusters removed.
+func weed(clusters map[int]*clus, global *pqueue.Heap, maxSize int, res *engineResult) int {
+	var victims []int
+	for id, c := range clusters {
+		if c.size <= maxSize {
+			victims = append(victims, id)
+		}
+	}
+	sort.Ints(victims)
+	for _, id := range victims {
+		c := clusters[id]
+		for _, m := range c.members {
+			res.weeded = append(res.weeded, int(m))
+		}
+		for x := range c.links {
+			cx, ok := clusters[x]
+			if !ok {
+				continue // x is itself a victim already removed
+			}
+			delete(cx.links, id)
+			cx.heap.Remove(id)
+			updateGlobal(global, x, cx)
+		}
+		global.Remove(id)
+		delete(clusters, id)
+	}
+	return len(victims)
+}
+
+// updateGlobal synchronizes cluster x's entry in the global heap with the
+// top of its local heap.
+func updateGlobal(global *pqueue.Heap, x int, c *clus) {
+	if _, p, ok := c.heap.Peek(); ok {
+		global.Set(x, p)
+	} else {
+		global.Remove(x)
+	}
+}

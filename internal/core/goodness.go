@@ -1,0 +1,88 @@
+// Package core implements the ROCK clustering algorithm: the goodness
+// measure and criterion function, the heap-driven agglomerative engine,
+// outlier handling, Chernoff-bound random sampling, the labeling phase for
+// out-of-sample points, and the QROCK connected-components variant.
+package core
+
+import "math"
+
+// FTheta maps the neighbor threshold θ to the exponent function f(θ) used
+// by the criterion and goodness measures: a point in cluster C_i is
+// heuristically expected to have n_i^{f(θ)} neighbors within the cluster.
+type FTheta func(theta float64) float64
+
+// MarketBasketF is the paper's choice f(θ) = (1−θ)/(1+θ) for market-basket
+// and categorical data.
+func MarketBasketF(theta float64) float64 { return (1 - theta) / (1 + theta) }
+
+// ConstantF returns an FTheta that ignores θ — useful in ablations probing
+// the sensitivity of the criterion to the exponent.
+func ConstantF(c float64) FTheta { return func(float64) float64 { return c } }
+
+// GoodnessFunc scores a candidate merge of clusters with sizes ni and nj
+// joined by links cross links, given the exponent value f = f(θ). Higher
+// is better. ROCK merges the pair with maximal goodness.
+type GoodnessFunc func(links int, ni, nj int, f float64) float64
+
+// RockGoodness is the paper's goodness measure
+//
+//	g(Ci,Cj) = link[Ci,Cj] / ((ni+nj)^(1+2f) − ni^(1+2f) − nj^(1+2f)),
+//
+// the observed cross-link count normalized by its expectation, which
+// prevents large clusters from absorbing everything simply because they
+// have many links in aggregate.
+func RockGoodness(links int, ni, nj int, f float64) float64 {
+	if links == 0 {
+		return 0
+	}
+	exp := 1 + 2*f
+	denom := math.Pow(float64(ni+nj), exp) - math.Pow(float64(ni), exp) - math.Pow(float64(nj), exp)
+	if denom <= 0 {
+		// exp ≤ 1 can produce a non-positive expectation; fall back to the
+		// raw link count so merging still prefers strongly linked pairs.
+		return float64(links)
+	}
+	return float64(links) / denom
+}
+
+// LinkCountGoodness merges by raw cross-link count — the unnormalized
+// ablation of RockGoodness. Large clusters dominate.
+func LinkCountGoodness(links int, ni, nj int, f float64) float64 {
+	return float64(links)
+}
+
+// AverageLinkGoodness merges by links/(ni·nj), the mean number of links
+// per cross pair — a plausible but weaker normalization used as an
+// ablation in DESIGN.md (A1).
+func AverageLinkGoodness(links int, ni, nj int, f float64) float64 {
+	return float64(links) / (float64(ni) * float64(nj))
+}
+
+// Criterion evaluates the paper's criterion function
+//
+//	E_l = Σ_i n_i · Σ_{p,q ∈ C_i} link(p,q) / n_i^(1+2f)
+//
+// over a clustering, where clusters lists member point ids and get
+// returns link counts between points. Maximizing E_l is the formal goal
+// the greedy goodness-driven merging approximates.
+func Criterion(clusters [][]int, get func(i, j int) int, f float64) float64 {
+	exp := 1 + 2*f
+	total := 0.0
+	for _, members := range clusters {
+		n := len(members)
+		if n < 2 {
+			continue
+		}
+		links := 0
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				links += get(members[a], members[b])
+			}
+		}
+		// Each unordered pair counted once; the paper's double sum over
+		// ordered pairs is twice that, a constant factor that does not
+		// change the argmax. We keep unordered counts throughout.
+		total += float64(n) * float64(links) / math.Pow(float64(n), exp)
+	}
+	return total
+}

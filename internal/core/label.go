@@ -1,0 +1,62 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/rockclust/rock/internal/dataset"
+	"github.com/rockclust/rock/internal/similarity"
+)
+
+// labelSets draws the per-cluster labeling subsets L_i: a uniform random
+// LabelFraction of each cluster's members (at least one, at most
+// MaxLabelPoints). Members are dataset-global indices.
+func labelSets(clusters [][]int, cfg Config, rng *rand.Rand) [][]int {
+	out := make([][]int, len(clusters))
+	for i, members := range clusters {
+		want := int(math.Ceil(cfg.LabelFraction * float64(len(members))))
+		if want < 1 {
+			want = 1
+		}
+		if want > cfg.MaxLabelPoints {
+			want = cfg.MaxLabelPoints
+		}
+		if want > len(members) {
+			want = len(members)
+		}
+		pick := SampleIndices(len(members), want, rng)
+		li := make([]int, len(pick))
+		for j, p := range pick {
+			li[j] = members[p]
+		}
+		out[i] = li
+	}
+	return out
+}
+
+// labelPoint assigns one out-of-sample point to the cluster maximizing the
+// paper's labeling score N_i / (|L_i|+1)^f, where N_i is the number of
+// θ-neighbors of the point inside L_i. It returns -1 when the point has no
+// neighbor in any L_i (an outlier with respect to the discovered
+// clusters). Ties break toward the smaller cluster index, keeping the
+// phase deterministic.
+func labelPoint(t dataset.Transaction, ts []dataset.Transaction, sets [][]int, theta, f float64, sim similarity.Measure) int {
+	best := -1
+	bestScore := 0.0
+	for i, li := range sets {
+		n := 0
+		for _, q := range li {
+			if sim(t, ts[q]) >= theta {
+				n++
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		score := float64(n) / math.Pow(float64(len(li)+1), f)
+		if best == -1 || score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/rockclust/rock/internal/dataset"
+)
+
+func TestQRockComponents(t *testing.T) {
+	ts, truth := groupedData(3, 25, 21)
+	res, err := QRock(ts, QRockConfig{Theta: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPartition(t, res, len(ts))
+	if res.K() != 3 {
+		t.Fatalf("components = %d, want 3", res.K())
+	}
+	for _, members := range res.Clusters {
+		g := truth[members[0]]
+		for _, p := range members {
+			if truth[p] != g {
+				t.Fatal("component mixes groups")
+			}
+		}
+	}
+}
+
+func TestQRockMinClusterSize(t *testing.T) {
+	// Deterministic components: two 4-cliques of near-identical
+	// transactions plus an isolated pair.
+	tr := func(items ...dataset.Item) dataset.Transaction { return dataset.NewTransaction(items...) }
+	ts := []dataset.Transaction{
+		tr(1, 2, 3), tr(1, 2, 3, 4), tr(1, 2, 4), tr(2, 3, 4),
+		tr(10, 11, 12), tr(10, 11, 13), tr(10, 12, 13), tr(11, 12, 13),
+		tr(500, 501), tr(500, 501),
+	}
+	res, err := QRock(ts, QRockConfig{Theta: 0.4, MinClusterSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K() != 2 {
+		t.Fatalf("k = %d, want 2 (clusters %v)", res.K(), res.Clusters)
+	}
+	if len(res.Outliers) != 2 || res.Outliers[0] != 8 || res.Outliers[1] != 9 {
+		t.Fatalf("outliers = %v, want [8 9]", res.Outliers)
+	}
+}
+
+func TestQRockValidation(t *testing.T) {
+	if _, err := QRock(nil, QRockConfig{Theta: -1}); err == nil {
+		t.Fatal("invalid theta accepted")
+	}
+	res, err := QRock(nil, QRockConfig{Theta: 0.5})
+	if err != nil || res.K() != 0 {
+		t.Fatal("empty input mishandled")
+	}
+}
+
+// QROCK's defining property: with self-inclusive neighbor lists, ROCK run
+// to k=1 without pruning/weeding merges exactly the connected components
+// of the θ-neighbor graph. (Self-inclusion makes every neighbor edge a
+// positive link: the two endpoints are common neighbors of the pair.)
+func TestQRockMatchesRockAtKOne(t *testing.T) {
+	ts, _ := groupedData(4, 15, 23)
+	rockRes, err := Cluster(ts, Config{Theta: 0.3, K: 1, IncludeSelf: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qRes, err := QRock(ts, QRockConfig{Theta: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rockRes.Clusters, qRes.Clusters) {
+		t.Fatalf("ROCK(k=1, self) %v != QROCK %v", rockRes.Clusters, qRes.Clusters)
+	}
+}

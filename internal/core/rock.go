@@ -1,0 +1,264 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/rockclust/rock/internal/dataset"
+	"github.com/rockclust/rock/internal/linkage"
+	"github.com/rockclust/rock/internal/similarity"
+)
+
+// Result is the outcome of a ROCK run over a dataset of n transactions.
+type Result struct {
+	// Assign maps each input index to its cluster index in Clusters, or
+	// -1 for outliers.
+	Assign []int
+	// Clusters lists member input indices, ascending; clusters are
+	// ordered by smallest member.
+	Clusters [][]int
+	// Outliers lists input indices assigned to no cluster: points pruned
+	// for having too few neighbors, members of weeded clusters, and
+	// out-of-sample points with no labeled neighbor.
+	Outliers []int
+	// SampleIdx lists the input indices that formed the clustered sample,
+	// or nil when the whole dataset was clustered.
+	SampleIdx []int
+	// MergeTrace is the dendrogram of the agglomeration when
+	// Config.TraceMerges was set: ids 0..len(TracePoints)-1 are the
+	// clustered points in TracePoints order, later ids are merge
+	// products. Cut it at any k with CutTrace.
+	MergeTrace []MergeStep
+	// TracePoints maps trace singleton ids to input indices.
+	TracePoints []int
+	Stats       Stats
+}
+
+// Stats reports what happened during a run, mirroring the quantities in
+// the paper's analysis (average/maximum neighbor-list size m_a and m_m,
+// link pairs, merge count).
+type Stats struct {
+	N             int     // input points
+	Sampled       int     // points in the clustered sample (== N when unsampled)
+	Pruned        int     // points dropped by the MinNeighbors filter
+	Weeded        int     // points dropped at the weeding checkpoint
+	Unlabeled     int     // out-of-sample points no cluster would accept
+	AvgNeighbors  float64 // m_a over the sample
+	MaxNeighbors  int     // m_m over the sample
+	LinkPairs     int     // undirected pairs with positive link count
+	Merges        int
+	StoppedEarly  bool // ran out of cross links before reaching K
+	ClustersFound int
+	FVal          float64 // the exponent f(θ) in effect
+}
+
+// K returns the number of clusters found.
+func (r *Result) K() int { return len(r.Clusters) }
+
+// Sizes returns the cluster sizes in cluster order.
+func (r *Result) Sizes() []int {
+	s := make([]int, len(r.Clusters))
+	for i, c := range r.Clusters {
+		s[i] = len(c)
+	}
+	return s
+}
+
+// Cluster runs the full ROCK pipeline on ts: optional uniform sampling,
+// θ-neighbor computation, link computation, outlier pruning, heap-driven
+// agglomeration down to cfg.K clusters with optional weeding, and — when a
+// sample was used — labeling of the remaining points.
+func Cluster(ts []dataset.Transaction, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	n := len(ts)
+	res := &Result{Assign: make([]int, n), Stats: Stats{N: n, FVal: cfg.fval()}}
+	for i := range res.Assign {
+		res.Assign[i] = -1
+	}
+	if n == 0 {
+		return res, nil
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Phase 1: sample.
+	sample := make([]int, n)
+	for i := range sample {
+		sample[i] = i
+	}
+	sampled := false
+	if cfg.SampleSize > 0 && cfg.SampleSize < n {
+		sample = SampleIndices(n, cfg.SampleSize, rng)
+		sampled = true
+		res.SampleIdx = sample
+	}
+	res.Stats.Sampled = len(sample)
+	local := make([]dataset.Transaction, len(sample))
+	for i, j := range sample {
+		local[i] = ts[j]
+	}
+
+	// Phase 2: θ-neighbors over the sample.
+	simOpts := similarity.Options{Measure: cfg.Measure, IncludeSelf: cfg.IncludeSelf, Workers: cfg.Workers}
+	var nb *similarity.Neighbors
+	switch {
+	case cfg.LSHNeighbors:
+		nb = similarity.ComputeLSH(local, cfg.Theta, similarity.LSHOptions{
+			Hashes:      cfg.LSHHashes,
+			Bands:       cfg.LSHBands,
+			Seed:        cfg.Seed,
+			Measure:     cfg.Measure,
+			IncludeSelf: cfg.IncludeSelf,
+			Workers:     cfg.Workers,
+		})
+	case cfg.BruteNeighbors:
+		nb = similarity.Compute(local, cfg.Theta, simOpts)
+	default:
+		nb = similarity.ComputeIndexed(local, cfg.Theta, simOpts)
+	}
+	res.Stats.AvgNeighbors, res.Stats.MaxNeighbors, _ = nb.Stats()
+
+	// Phase 3: prune sparse points (paper: outliers have few neighbors).
+	kept, prunedLocal := pruneByDegree(nb, cfg.MinNeighbors)
+	res.Stats.Pruned = len(prunedLocal)
+	for _, l := range prunedLocal {
+		res.Outliers = append(res.Outliers, sample[l])
+	}
+	keptNb := filterNeighbors(nb, kept)
+
+	// Phase 4: links over the kept sample.
+	lt := linkage.FromNeighbors(keptNb)
+	res.Stats.LinkPairs = lt.Pairs()
+
+	// Phase 5: agglomerate.
+	weedTrigger := 0
+	if cfg.WeedAt > 0 {
+		weedTrigger = int(math.Ceil(cfg.WeedAt * float64(len(kept))))
+		if weedTrigger < cfg.K {
+			weedTrigger = cfg.K
+		}
+	}
+	eng := agglomerate(len(kept), lt, cfg.K, cfg.Goodness, cfg.fval(), weedTrigger, cfg.WeedMaxSize, cfg.TraceMerges)
+	res.Stats.Merges = eng.merges
+	res.Stats.StoppedEarly = eng.stoppedEarly
+	res.Stats.Weeded = len(eng.weeded)
+	for _, l := range eng.weeded {
+		res.Outliers = append(res.Outliers, sample[kept[l]])
+	}
+	if cfg.TraceMerges {
+		res.MergeTrace = eng.trace
+		res.TracePoints = make([]int, len(kept))
+		for i, l := range kept {
+			res.TracePoints[i] = sample[l]
+		}
+	}
+
+	// Map engine clusters (kept-local indices) back to input indices.
+	res.Clusters = make([][]int, len(eng.clusters))
+	for ci, members := range eng.clusters {
+		global := make([]int, len(members))
+		for i, l := range members {
+			global[i] = sample[kept[l]]
+		}
+		res.Clusters[ci] = global
+		for _, g := range global {
+			res.Assign[g] = ci
+		}
+	}
+	res.Stats.ClustersFound = len(res.Clusters)
+
+	// Phase 6: label the rest of the dataset (and, with LabelOutliers,
+	// the sample's pruned/weeded points) against cluster subsets.
+	var candidates []int
+	if sampled {
+		inSample := make([]bool, n)
+		for _, j := range sample {
+			inSample[j] = true
+		}
+		for p := 0; p < n; p++ {
+			if !inSample[p] {
+				candidates = append(candidates, p)
+			}
+		}
+	}
+	if cfg.LabelOutliers {
+		candidates = append(candidates, res.Outliers...)
+		res.Outliers = nil
+	}
+	sort.Ints(candidates)
+	if len(candidates) > 0 {
+		if len(res.Clusters) == 0 {
+			res.Stats.Unlabeled += len(candidates)
+			res.Outliers = append(res.Outliers, candidates...)
+		} else {
+			sets := labelSets(res.Clusters, cfg, rng)
+			for _, p := range candidates {
+				ci := labelPoint(ts[p], ts, sets, cfg.Theta, cfg.fval(), cfg.Measure)
+				if ci < 0 {
+					res.Stats.Unlabeled++
+					res.Outliers = append(res.Outliers, p)
+					continue
+				}
+				res.Assign[p] = ci
+				res.Clusters[ci] = append(res.Clusters[ci], p)
+			}
+			for _, c := range res.Clusters {
+				sort.Ints(c)
+			}
+		}
+	}
+
+	sort.Ints(res.Outliers)
+	return res, nil
+}
+
+// pruneByDegree splits points into those with at least minNeighbors
+// neighbors (kept, ascending) and the rest (pruned, ascending).
+func pruneByDegree(nb *similarity.Neighbors, minNeighbors int) (kept, pruned []int) {
+	n := nb.Len()
+	if minNeighbors <= 0 {
+		kept = make([]int, n)
+		for i := range kept {
+			kept[i] = i
+		}
+		return kept, nil
+	}
+	for i := 0; i < n; i++ {
+		if nb.Degree(i) >= minNeighbors {
+			kept = append(kept, i)
+		} else {
+			pruned = append(pruned, i)
+		}
+	}
+	return kept, pruned
+}
+
+// filterNeighbors renumbers neighbor lists onto the kept subset, dropping
+// pruned points from every list.
+func filterNeighbors(nb *similarity.Neighbors, kept []int) *similarity.Neighbors {
+	if len(kept) == nb.Len() {
+		return nb
+	}
+	newID := make([]int32, nb.Len())
+	for i := range newID {
+		newID[i] = -1
+	}
+	for ni, old := range kept {
+		newID[old] = int32(ni)
+	}
+	out := &similarity.Neighbors{Lists: make([][]int32, len(kept))}
+	for ni, old := range kept {
+		var l []int32
+		for _, j := range nb.Lists[old] {
+			if nj := newID[j]; nj >= 0 {
+				l = append(l, nj)
+			}
+		}
+		out.Lists[ni] = l
+	}
+	return out
+}

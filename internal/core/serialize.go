@@ -1,0 +1,43 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// resultEnvelope versions the serialized form so future layout changes
+// stay detectable.
+type resultEnvelope struct {
+	Version int     `json:"version"`
+	Result  *Result `json:"result"`
+}
+
+const resultVersion = 1
+
+// WriteResult serializes a clustering result as versioned JSON — the
+// hand-off format between a clustering run and downstream analysis or a
+// later labeling pass.
+func WriteResult(w io.Writer, res *Result) error {
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(resultEnvelope{Version: resultVersion, Result: res}); err != nil {
+		return fmt.Errorf("core: encoding result: %w", err)
+	}
+	return nil
+}
+
+// ReadResult deserializes a result written by WriteResult.
+func ReadResult(r io.Reader) (*Result, error) {
+	var env resultEnvelope
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&env); err != nil {
+		return nil, fmt.Errorf("core: decoding result: %w", err)
+	}
+	if env.Version != resultVersion {
+		return nil, fmt.Errorf("core: result version %d, this build reads %d", env.Version, resultVersion)
+	}
+	if env.Result == nil {
+		return nil, fmt.Errorf("core: result payload missing")
+	}
+	return env.Result, nil
+}

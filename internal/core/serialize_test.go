@@ -1,0 +1,46 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestResultJSONRoundTrip(t *testing.T) {
+	ts, _ := groupedData(2, 25, 81)
+	res, err := Cluster(ts, Config{Theta: 0.3, K: 2, Seed: 1, MinNeighbors: 1, TraceMerges: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteResult(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadResult(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Assign, res.Assign) ||
+		!reflect.DeepEqual(got.Clusters, res.Clusters) ||
+		!reflect.DeepEqual(got.Outliers, res.Outliers) ||
+		!reflect.DeepEqual(got.MergeTrace, res.MergeTrace) ||
+		!reflect.DeepEqual(got.TracePoints, res.TracePoints) {
+		t.Fatal("round trip changed the result")
+	}
+	if got.Stats != res.Stats {
+		t.Fatalf("stats changed: %+v vs %+v", got.Stats, res.Stats)
+	}
+}
+
+func TestReadResultRejectsGarbage(t *testing.T) {
+	if _, err := ReadResult(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadResult(strings.NewReader(`{"version": 99, "result": {}}`)); err == nil {
+		t.Fatal("future version accepted")
+	}
+	if _, err := ReadResult(strings.NewReader(`{"version": 1}`)); err == nil {
+		t.Fatal("missing payload accepted")
+	}
+}

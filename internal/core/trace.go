@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/rockclust/rock/internal/unionfind"
+)
+
+// MergeStep records one agglomeration step: clusters A and B (ids as
+// defined below) merged into cluster Into with the given goodness and
+// cross-link count, at the point where `Remaining` active clusters were
+// left *after* the merge.
+//
+// Cluster ids follow the engine's convention: ids 0..n-1 are the initial
+// singletons (n = points clustered, in input order of the clustered
+// sample), and each merge allocates the next id. The trace is therefore a
+// dendrogram: cutting it at any number of clusters reproduces the
+// clustering ROCK would have returned for that k (weeding aside).
+type MergeStep struct {
+	A, B      int
+	Into      int
+	Goodness  float64
+	Links     int
+	SizeA     int
+	SizeB     int
+	Remaining int
+}
+
+// CutTrace replays a merge trace over n initial singletons and stops when
+// the number of clusters reaches k (or the trace is exhausted — ROCK may
+// stop early when links run out). It returns the members of each cluster
+// by initial singleton index, clusters ordered by smallest member. Steps
+// must be a prefix-consistent trace as produced by the engine.
+func CutTrace(n int, steps []MergeStep, k int) ([][]int, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("core: cut at k=%d", k)
+	}
+	uf := unionfind.New(n)
+	// Map engine cluster ids to a representative singleton.
+	rep := make(map[int]int, n)
+	for i := 0; i < n; i++ {
+		rep[i] = i
+	}
+	remaining := n
+	for _, s := range steps {
+		if remaining <= k {
+			break
+		}
+		ra, oka := rep[s.A]
+		rb, okb := rep[s.B]
+		if !oka || !okb {
+			return nil, fmt.Errorf("core: trace references unknown cluster %d or %d", s.A, s.B)
+		}
+		uf.Union(ra, rb)
+		delete(rep, s.A)
+		delete(rep, s.B)
+		rep[s.Into] = ra
+		remaining--
+	}
+	comps := uf.Components()
+	sort.Slice(comps, func(i, j int) bool { return comps[i][0] < comps[j][0] })
+	return comps, nil
+}

@@ -1,0 +1,88 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// BasketOptions control ReadBasket.
+type BasketOptions struct {
+	// FirstTokenIsLabel treats the first whitespace-separated token of
+	// each line as the transaction's ground-truth label.
+	FirstTokenIsLabel bool
+	// FirstTokenIsName treats the first token (after the label, if both
+	// are set) as the transaction's display name.
+	FirstTokenIsName bool
+	// Comment, when non-zero, skips lines starting with this byte.
+	Comment byte
+}
+
+// ReadBasket parses the classic market-basket text format: one transaction
+// per line, items separated by whitespace. Blank lines are skipped.
+func ReadBasket(r io.Reader, opts BasketOptions) (*Dataset, error) {
+	v := NewVocabulary()
+	d := &Dataset{Vocab: v}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || (opts.Comment != 0 && text[0] == opts.Comment) {
+			continue
+		}
+		fields := strings.Fields(text)
+		if opts.FirstTokenIsLabel {
+			d.Labels = append(d.Labels, fields[0])
+			fields = fields[1:]
+		}
+		if opts.FirstTokenIsName {
+			if len(fields) == 0 {
+				return nil, fmt.Errorf("dataset: basket line %d: missing name token", line)
+			}
+			d.Names = append(d.Names, fields[0])
+			fields = fields[1:]
+		}
+		items := make([]Item, len(fields))
+		for i, f := range fields {
+			items[i] = v.Intern(f)
+		}
+		d.Trans = append(d.Trans, NewTransaction(items...))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: reading basket file: %w", err)
+	}
+	return d, nil
+}
+
+// WriteBasket writes transactions in the market-basket text format read by
+// ReadBasket, emitting label and name prefix tokens when the dataset
+// carries them.
+func WriteBasket(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	for i, t := range d.Trans {
+		first := true
+		emit := func(tok string) {
+			if !first {
+				bw.WriteByte(' ')
+			}
+			bw.WriteString(tok)
+			first = false
+		}
+		if d.Labels != nil {
+			emit(d.Labels[i])
+		}
+		if d.Names != nil {
+			emit(d.Names[i])
+		}
+		for _, it := range t {
+			emit(d.Vocab.Name(it))
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return fmt.Errorf("dataset: writing basket line %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,117 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// CSVOptions control ReadCSV.
+type CSVOptions struct {
+	Comma      rune // field separator; 0 means ','
+	HasHeader  bool // first row names the attributes
+	LabelCol   int  // index of the ground-truth label column, -1 for none
+	NameCol    int  // index of the record-name column, -1 for none
+	MissingAs  string
+	MissingVal bool // forwarded to EncodeOptions.MissingAsValue
+}
+
+// DefaultCSVOptions returns the options used by the command-line tools:
+// comma-separated, header row, no label or name columns, "?" missing.
+func DefaultCSVOptions() CSVOptions {
+	return CSVOptions{Comma: ',', HasHeader: true, LabelCol: -1, NameCol: -1, MissingAs: Missing}
+}
+
+// ReadCSV parses categorical records from CSV and encodes them as
+// transactions via EncodeRecords. Label and name columns, when set, are
+// excluded from the encoded attributes and captured on the Dataset.
+func ReadCSV(r io.Reader, opts CSVOptions) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	if opts.Comma != 0 {
+		cr.Comma = opts.Comma
+	}
+	cr.FieldsPerRecord = -1
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return &Dataset{Vocab: NewVocabulary()}, nil
+	}
+	width := len(rows[0])
+	var attrs []string
+	if opts.HasHeader {
+		attrs = rows[0]
+		rows = rows[1:]
+	} else {
+		attrs = make([]string, width)
+		for i := range attrs {
+			attrs[i] = fmt.Sprintf("a%d", i)
+		}
+	}
+	if opts.LabelCol >= width || opts.NameCol >= width {
+		return nil, fmt.Errorf("dataset: label/name column out of range for %d columns", width)
+	}
+
+	keep := make([]int, 0, width)
+	var keptAttrs []string
+	for i := 0; i < width; i++ {
+		if i == opts.LabelCol || i == opts.NameCol {
+			continue
+		}
+		keep = append(keep, i)
+		keptAttrs = append(keptAttrs, attrs[i])
+	}
+
+	records := make([]Record, 0, len(rows))
+	var labels, names []string
+	for rn, row := range rows {
+		if len(row) != width {
+			return nil, fmt.Errorf("dataset: row %d has %d fields, want %d", rn+1, len(row), width)
+		}
+		rec := make(Record, len(keep))
+		for j, col := range keep {
+			v := row[col]
+			if opts.MissingAs != "" && v == opts.MissingAs {
+				v = Missing
+			}
+			rec[j] = v
+		}
+		records = append(records, rec)
+		if opts.LabelCol >= 0 {
+			labels = append(labels, row[opts.LabelCol])
+		}
+		if opts.NameCol >= 0 {
+			names = append(names, row[opts.NameCol])
+		}
+	}
+	d := EncodeRecords(keptAttrs, records, labels, EncodeOptions{MissingAsValue: opts.MissingVal})
+	d.Names = names
+	return d, nil
+}
+
+// WriteCSV writes the dataset back out as categorical records, one row per
+// transaction, decoding items via DecodeRecord. A label column named
+// "class" is appended when the dataset carries labels. It is the inverse
+// of ReadCSV for datasets built from records.
+func WriteCSV(w io.Writer, d *Dataset) error {
+	cw := csv.NewWriter(w)
+	header := append([]string(nil), d.Attrs...)
+	if d.Labels != nil {
+		header = append(header, "class")
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: writing csv header: %w", err)
+	}
+	for i, t := range d.Trans {
+		row := []string(DecodeRecord(d, t))
+		if d.Labels != nil {
+			row = append(row, d.Labels[i])
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("dataset: writing csv row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,73 @@
+package dataset
+
+// Missing is the conventional marker for a missing categorical attribute
+// value (the UCI convention). EncodeRecords also treats the empty string
+// as missing.
+const Missing = "?"
+
+// Record is one categorical tuple: one value per attribute of a schema.
+type Record []string
+
+// EncodeOptions control how categorical records are mapped to
+// transactions.
+type EncodeOptions struct {
+	// MissingAsValue, when true, interns missing values as the item
+	// "attr=?" instead of dropping them. The paper drops them (a missing
+	// value simply contributes no item), which is the default.
+	MissingAsValue bool
+}
+
+// EncodeRecords converts categorical records into a Dataset of
+// transactions, interning each present attribute value as the item
+// "attr=value". attrs names the columns; labels may be nil or parallel to
+// records. This is the paper's reduction of categorical records to the
+// market-basket domain: two records then have one common item per
+// attribute on which they agree.
+func EncodeRecords(attrs []string, records []Record, labels []string, opts EncodeOptions) *Dataset {
+	v := NewVocabulary()
+	d := &Dataset{Vocab: v, Attrs: attrs, Labels: labels}
+	d.Trans = make([]Transaction, len(records))
+	items := make([]Item, 0, len(attrs))
+	for i, rec := range records {
+		items = items[:0]
+		for a := 0; a < len(attrs) && a < len(rec); a++ {
+			val := rec[a]
+			if val == "" || val == Missing {
+				if !opts.MissingAsValue {
+					continue
+				}
+				val = Missing
+			}
+			items = append(items, v.Intern(attrs[a]+"="+val))
+		}
+		d.Trans[i] = NewTransaction(items...)
+	}
+	return d
+}
+
+// DecodeRecord reverses EncodeRecords for one transaction: it returns the
+// record with each attribute set to its value when the transaction holds
+// an item for that attribute, and Missing otherwise. Attribute names must
+// match those used at encode time.
+func DecodeRecord(d *Dataset, t Transaction) Record {
+	rec := make(Record, len(d.Attrs))
+	for i := range rec {
+		rec[i] = Missing
+	}
+	pos := make(map[string]int, len(d.Attrs))
+	for i, a := range d.Attrs {
+		pos[a] = i
+	}
+	for _, it := range t {
+		name := d.Vocab.Name(it)
+		for j := 0; j < len(name); j++ {
+			if name[j] == '=' {
+				if i, ok := pos[name[:j]]; ok {
+					rec[i] = name[j+1:]
+				}
+				break
+			}
+		}
+	}
+	return rec
+}

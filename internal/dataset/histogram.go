@@ -1,0 +1,69 @@
+package dataset
+
+import "sort"
+
+// Histogram is the item-frequency profile of a group of transactions —
+// the compact cluster representation used across the categorical
+// clustering literature (cluster summaries, Squeezer-style histograms).
+type Histogram struct {
+	Counts map[Item]int
+	N      int // transactions summarized
+}
+
+// BuildHistogram profiles the transactions at the given indices.
+func BuildHistogram(ts []Transaction, members []int) *Histogram {
+	h := &Histogram{Counts: make(map[Item]int), N: len(members)}
+	for _, p := range members {
+		for _, it := range ts[p] {
+			h.Counts[it]++
+		}
+	}
+	return h
+}
+
+// Support returns the fraction of the group's transactions containing it.
+func (h *Histogram) Support(it Item) float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return float64(h.Counts[it]) / float64(h.N)
+}
+
+// ItemCount pairs an item with its frequency.
+type ItemCount struct {
+	Item  Item
+	Count int
+}
+
+// Top returns the k most frequent items, ties broken toward the smaller
+// item id for determinism.
+func (h *Histogram) Top(k int) []ItemCount {
+	out := make([]ItemCount, 0, len(h.Counts))
+	for it, c := range h.Counts {
+		out = append(out, ItemCount{it, c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Item < out[j].Item
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// LargeItems returns the items whose support reaches minSupport — the
+// "large items" of a cluster in the transaction-clustering sense, sorted
+// ascending by id.
+func (h *Histogram) LargeItems(minSupport float64) []Item {
+	var out []Item
+	for it := range h.Counts {
+		if h.Support(it) >= minSupport {
+			out = append(out, it)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,63 @@
+package dataset
+
+import (
+	"reflect"
+	"testing"
+)
+
+func histData() []Transaction {
+	return []Transaction{
+		NewTransaction(1, 2, 3),
+		NewTransaction(1, 2),
+		NewTransaction(1, 4),
+		NewTransaction(9),
+	}
+}
+
+func TestBuildHistogram(t *testing.T) {
+	h := BuildHistogram(histData(), []int{0, 1, 2})
+	if h.N != 3 {
+		t.Fatalf("N = %d", h.N)
+	}
+	if h.Counts[1] != 3 || h.Counts[2] != 2 || h.Counts[3] != 1 || h.Counts[4] != 1 {
+		t.Fatalf("counts = %v", h.Counts)
+	}
+	if h.Counts[9] != 0 {
+		t.Fatal("item outside group counted")
+	}
+	if h.Support(1) != 1 || h.Support(2) != 2.0/3.0 {
+		t.Fatalf("supports wrong: %g %g", h.Support(1), h.Support(2))
+	}
+}
+
+func TestHistogramTop(t *testing.T) {
+	h := BuildHistogram(histData(), []int{0, 1, 2})
+	top := h.Top(2)
+	want := []ItemCount{{1, 3}, {2, 2}}
+	if !reflect.DeepEqual(top, want) {
+		t.Fatalf("Top = %v, want %v", top, want)
+	}
+	// Ties break toward the smaller item id.
+	h2 := BuildHistogram([]Transaction{NewTransaction(5, 7)}, []int{0})
+	top2 := h2.Top(10)
+	if top2[0].Item != 5 || top2[1].Item != 7 {
+		t.Fatalf("tie order = %v", top2)
+	}
+}
+
+func TestHistogramLargeItems(t *testing.T) {
+	h := BuildHistogram(histData(), []int{0, 1, 2})
+	if got := h.LargeItems(0.6); !reflect.DeepEqual(got, []Item{1, 2}) {
+		t.Fatalf("LargeItems(0.6) = %v", got)
+	}
+	if got := h.LargeItems(1.1); len(got) != 0 {
+		t.Fatalf("impossible support returned items: %v", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := BuildHistogram(nil, nil)
+	if h.N != 0 || h.Support(1) != 0 || len(h.Top(3)) != 0 {
+		t.Fatal("empty histogram misbehaves")
+	}
+}

@@ -1,0 +1,205 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEncodeRecordsDropsMissing(t *testing.T) {
+	attrs := []string{"color", "shape"}
+	recs := []Record{{"red", "round"}, {"?", "square"}, {"blue", ""}}
+	d := EncodeRecords(attrs, recs, []string{"a", "b", "a"}, EncodeOptions{})
+	if d.Trans[0].Len() != 2 {
+		t.Fatalf("record 0 encoded to %d items, want 2", d.Trans[0].Len())
+	}
+	if d.Trans[1].Len() != 1 || d.Trans[2].Len() != 1 {
+		t.Fatalf("missing values not dropped: %v %v", d.Trans[1], d.Trans[2])
+	}
+	if _, ok := d.Vocab.Lookup("color=?"); ok {
+		t.Fatal("missing value was interned despite MissingAsValue=false")
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeRecordsMissingAsValue(t *testing.T) {
+	d := EncodeRecords([]string{"a"}, []Record{{"?"}}, nil, EncodeOptions{MissingAsValue: true})
+	if d.Trans[0].Len() != 1 {
+		t.Fatalf("want 1 item, got %v", d.Trans[0])
+	}
+	if _, ok := d.Vocab.Lookup("a=?"); !ok {
+		t.Fatal("a=? not interned")
+	}
+}
+
+func TestEncodeAgreementSemantics(t *testing.T) {
+	// Two records share exactly one common item per attribute on which
+	// they agree — the paper's reduction of categorical records to
+	// transactions.
+	attrs := []string{"a", "b", "c"}
+	d := EncodeRecords(attrs, []Record{{"1", "2", "3"}, {"1", "2", "9"}}, nil, EncodeOptions{})
+	if got := d.Trans[0].IntersectSize(d.Trans[1]); got != 2 {
+		t.Fatalf("agreement count = %d, want 2", got)
+	}
+}
+
+func TestDecodeRecordRoundTrip(t *testing.T) {
+	attrs := []string{"x", "y", "z"}
+	recs := []Record{{"p", "?", "q"}}
+	d := EncodeRecords(attrs, recs, nil, EncodeOptions{})
+	got := DecodeRecord(d, d.Trans[0])
+	want := Record{"p", Missing, "q"}
+	if len(got) != len(want) {
+		t.Fatalf("DecodeRecord len = %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("DecodeRecord = %v, want %v", got, want)
+		}
+	}
+}
+
+const votesCSV = `class,handicapped,water,budget
+republican,n,y,n
+democrat,y,n,y
+democrat,y,?,y
+`
+
+func TestReadCSV(t *testing.T) {
+	opts := DefaultCSVOptions()
+	opts.LabelCol = 0
+	d, err := ReadCSV(strings.NewReader(votesCSV), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", d.Len())
+	}
+	if d.Labels[0] != "republican" || d.Labels[2] != "democrat" {
+		t.Fatalf("labels = %v", d.Labels)
+	}
+	if len(d.Attrs) != 3 {
+		t.Fatalf("attrs = %v", d.Attrs)
+	}
+	// Row 2 has one missing value: 2 items instead of 3.
+	if d.Trans[2].Len() != 2 {
+		t.Fatalf("row 2 items = %d, want 2", d.Trans[2].Len())
+	}
+	// The two democrats agree on handicapped and budget.
+	if got := d.Trans[1].IntersectSize(d.Trans[2]); got != 2 {
+		t.Fatalf("democrat agreement = %d, want 2", got)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadCSVNoHeader(t *testing.T) {
+	opts := CSVOptions{Comma: ',', HasHeader: false, LabelCol: -1, NameCol: -1}
+	d, err := ReadCSV(strings.NewReader("a,b\nc,d\n"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 || len(d.Attrs) != 2 {
+		t.Fatalf("got %d rows, attrs %v", d.Len(), d.Attrs)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	opts := DefaultCSVOptions()
+	opts.LabelCol = 9
+	if _, err := ReadCSV(strings.NewReader(votesCSV), opts); err == nil {
+		t.Fatal("out-of-range label column accepted")
+	}
+	opts = DefaultCSVOptions()
+	if _, err := ReadCSV(strings.NewReader("a,b\n1\n"), opts); err == nil {
+		t.Fatal("ragged row accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	opts := DefaultCSVOptions()
+	opts.LabelCol = 0
+	d, err := ReadCSV(strings.NewReader(votesCSV), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	opts2 := DefaultCSVOptions()
+	opts2.LabelCol = 3 // class column is appended last by WriteCSV
+	d2, err := ReadCSV(&buf, opts2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Len() != d.Len() {
+		t.Fatalf("round trip changed size: %d != %d", d2.Len(), d.Len())
+	}
+	for i := range d.Trans {
+		if d.Trans[i].Len() != d2.Trans[i].Len() {
+			t.Fatalf("row %d changed arity", i)
+		}
+		if d.Labels[i] != d2.Labels[i] {
+			t.Fatalf("row %d label changed", i)
+		}
+	}
+}
+
+func TestReadBasket(t *testing.T) {
+	in := "# comment\nmilk bread butter\n\nbeer chips\n"
+	d, err := ReadBasket(strings.NewReader(in), BasketOptions{Comment: '#'})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", d.Len())
+	}
+	if d.Trans[0].Len() != 3 || d.Trans[1].Len() != 2 {
+		t.Fatalf("sizes = %d,%d", d.Trans[0].Len(), d.Trans[1].Len())
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadBasketLabelAndName(t *testing.T) {
+	in := "bond FUND1 d1 d2 d3\nequity FUND2 d2 d4\n"
+	d, err := ReadBasket(strings.NewReader(in), BasketOptions{FirstTokenIsLabel: true, FirstTokenIsName: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Labels[0] != "bond" || d.Names[1] != "FUND2" {
+		t.Fatalf("labels=%v names=%v", d.Labels, d.Names)
+	}
+	if d.Trans[0].Len() != 3 {
+		t.Fatalf("items = %v", d.Trans[0])
+	}
+}
+
+func TestBasketRoundTrip(t *testing.T) {
+	in := "a x1 x2\nb x2 x3 x4\n"
+	d, err := ReadBasket(strings.NewReader(in), BasketOptions{FirstTokenIsLabel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBasket(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ReadBasket(&buf, BasketOptions{FirstTokenIsLabel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Len() != d.Len() {
+		t.Fatal("round trip changed size")
+	}
+	for i := range d.Trans {
+		if d.Labels[i] != d2.Labels[i] || d.Trans[i].Len() != d2.Trans[i].Len() {
+			t.Fatalf("row %d changed", i)
+		}
+	}
+}

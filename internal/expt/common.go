@@ -1,0 +1,96 @@
+package expt
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/rockclust/rock/internal/dataset"
+	"github.com/rockclust/rock/internal/metrics"
+)
+
+// compositionTable renders the classic cluster-composition table of the
+// paper's quality experiments: one row per cluster with its size and
+// per-class member counts, plus an outliers row when any point is
+// unassigned. Clusters are ordered by size descending for readability.
+func compositionTable(labels []string, assign []int) string {
+	classes, counts := metrics.ContingencyTable(assign, labels)
+	k := 0
+	for _, a := range assign {
+		if a+1 > k {
+			k = a + 1
+		}
+	}
+	type row struct {
+		id   int
+		size int
+		per  []int
+	}
+	rows := make([]row, 0, k)
+	for ci := 0; ci < k; ci++ {
+		r := row{id: ci, per: counts[ci]}
+		for _, c := range counts[ci] {
+			r.size += c
+		}
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].size != rows[j].size {
+			return rows[i].size > rows[j].size
+		}
+		return rows[i].id < rows[j].id
+	})
+
+	outliers := make([]int, len(classes))
+	nOut := 0
+	for ri := k; ri < len(counts); ri++ {
+		for j, c := range counts[ri] {
+			outliers[j] += c
+			nOut += c
+		}
+	}
+
+	headers := append([]string{"cluster", "size"}, classes...)
+	var cells [][]string
+	for _, r := range rows {
+		line := []string{fmt.Sprintf("%d", r.id), fmt.Sprintf("%d", r.size)}
+		for _, c := range r.per {
+			line = append(line, fmt.Sprintf("%d", c))
+		}
+		cells = append(cells, line)
+	}
+	if nOut > 0 {
+		line := []string{"outliers", fmt.Sprintf("%d", nOut)}
+		for _, c := range outliers {
+			line = append(line, fmt.Sprintf("%d", c))
+		}
+		cells = append(cells, line)
+	}
+	return FormatTable(headers, cells)
+}
+
+// evalNote summarizes an evaluation in one line.
+func evalNote(name string, ev metrics.Eval) string {
+	return fmt.Sprintf("%s: accuracy r=%.4f, error e=%.4f, ace=%d, ARI=%.4f, NMI=%.4f, clustered=%d, outliers=%d",
+		name, ev.Accuracy, ev.Error, ev.AbsoluteError, ev.ARI, ev.NMI, ev.Clustered, ev.Outliers)
+}
+
+// timeIt measures the wall-clock duration of f in seconds.
+func timeIt(f func()) float64 {
+	start := time.Now()
+	f()
+	return time.Since(start).Seconds()
+}
+
+// subsetPrefix takes the first n records of a dataset (generators
+// interleave classes, so prefixes are representative).
+func subsetPrefix(d *dataset.Dataset, n int) *dataset.Dataset {
+	if n >= d.Len() {
+		return d
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return d.Subset(idx)
+}

@@ -1,0 +1,183 @@
+package expt
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestIDsStableAndTitled(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 14 {
+		t.Fatalf("have %d experiments, want 14: %v", len(ids), ids)
+	}
+	for _, id := range ids {
+		if Title(id) == "" {
+			t.Fatalf("experiment %s has no title", id)
+		}
+	}
+	// Canonical order: ablations then evaluation tables (lexicographic).
+	if ids[0] != "A1" || ids[len(ids)-1] != "E8" {
+		t.Fatalf("order = %v", ids)
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("E99", &buf, Options{Quick: true}); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+// Every experiment must run in Quick mode and emit a non-trivial report
+// containing its id and at least one table or series.
+func TestAllExperimentsQuick(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			var buf bytes.Buffer
+			if err := Run(id, &buf, Options{Quick: true, Seed: 1}); err != nil {
+				t.Fatal(err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, "== "+id+":") {
+				t.Fatalf("report missing header: %q", out[:min(80, len(out))])
+			}
+			if !strings.Contains(out, "---") {
+				t.Fatal("report contains no table or series")
+			}
+			if !strings.Contains(out, "note:") {
+				t.Fatal("report contains no notes")
+			}
+		})
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestFormatTable(t *testing.T) {
+	out := FormatTable([]string{"a", "long-header"}, [][]string{{"1", "2"}, {"333", "4"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Aligned: all rows same width.
+	w := len(lines[0])
+	for _, l := range lines[1:] {
+		if len(strings.TrimRight(l, " ")) > w {
+			t.Fatalf("misaligned table:\n%s", out)
+		}
+	}
+	if !strings.HasPrefix(lines[1], "-") {
+		t.Fatal("missing separator row")
+	}
+}
+
+func TestFormatSeries(t *testing.T) {
+	s := []Series{
+		{Name: "y1", X: []float64{1, 2}, Y: []float64{0.5, 1}},
+		{Name: "y2", X: []float64{1, 2}, Y: []float64{3, 4}},
+	}
+	out := FormatSeries(s)
+	if !strings.Contains(out, "y1") || !strings.Contains(out, "y2") {
+		t.Fatalf("missing series names:\n%s", out)
+	}
+	if !strings.Contains(out, "0.5") || !strings.Contains(out, "4") {
+		t.Fatalf("missing values:\n%s", out)
+	}
+	if FormatSeries(nil) != "" {
+		t.Fatal("empty series should format to empty string")
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	if trimFloat(3) != "3" {
+		t.Fatalf("trimFloat(3) = %q", trimFloat(3))
+	}
+	if trimFloat(0.25) != "0.25" {
+		t.Fatalf("trimFloat(0.25) = %q", trimFloat(0.25))
+	}
+}
+
+func TestCompositionTable(t *testing.T) {
+	labels := []string{"a", "a", "b", "b", "a"}
+	assign := []int{0, 0, 1, 1, -1}
+	out := compositionTable(labels, assign)
+	if !strings.Contains(out, "outliers") {
+		t.Fatalf("missing outliers row:\n%s", out)
+	}
+	if !strings.Contains(out, "cluster") || !strings.Contains(out, "size") {
+		t.Fatalf("missing headers:\n%s", out)
+	}
+}
+
+// The quality experiments must reproduce the paper's shape, not just run:
+// ROCK beats the traditional baseline on votes, and the mushroom run
+// yields uneven near-pure clusters while the baseline mixes classes.
+func TestPaperShapesQuick(t *testing.T) {
+	t.Run("votes", func(t *testing.T) {
+		t.Parallel()
+		rockRep, err := registry["E2"].run(Options{Quick: true, Seed: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tradRep, err := registry["E1"].run(Options{Quick: true, Seed: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		re := extractError(t, rockRep)
+		te := extractError(t, tradRep)
+		if re >= te {
+			t.Fatalf("ROCK error %.3f not below traditional %.3f", re, te)
+		}
+	})
+	t.Run("mushroom", func(t *testing.T) {
+		t.Parallel()
+		rockRep, err := registry["E4"].run(Options{Quick: true, Seed: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tradRep, err := registry["E3"].run(Options{Quick: true, Seed: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		re := extractError(t, rockRep)
+		te := extractError(t, tradRep)
+		if re > 0.1 {
+			t.Fatalf("ROCK mushroom error %.3f too high", re)
+		}
+		if te < 2*re {
+			t.Fatalf("traditional error %.3f not well above ROCK %.3f", te, re)
+		}
+	})
+}
+
+// extractError pulls "error e=0.1234" from a report's notes.
+func extractError(t *testing.T, rep *Report) float64 {
+	t.Helper()
+	for _, n := range rep.Notes {
+		i := strings.Index(n, "error e=")
+		if i < 0 {
+			continue
+		}
+		s := n[i+len("error e="):]
+		end := 0
+		for end < len(s) && (s[end] == '.' || (s[end] >= '0' && s[end] <= '9')) {
+			end++
+		}
+		v, err := strconv.ParseFloat(s[:end], 64)
+		if err != nil {
+			t.Fatalf("unparseable error note %q: %v", n, err)
+		}
+		return v
+	}
+	t.Fatalf("no error note in %v", rep.Notes)
+	return 0
+}

@@ -1,0 +1,67 @@
+package expt
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/rockclust/rock/internal/core"
+	"github.com/rockclust/rock/internal/metrics"
+	"github.com/rockclust/rock/internal/synth"
+)
+
+// runE5 is the mutual-fund case study: ROCK at θ=0.8 over the up-day
+// transactions of 795 simulated funds. The paper's shape: clusters align
+// with fund groups — the bond sectors, the equity sectors, precious
+// metals on its own — with no cross-group contamination.
+func runE5(opts Options) (*Report, error) {
+	days := 550
+	if opts.Quick {
+		days = 250
+	}
+	d := synth.Funds(synth.FundsConfig{Days: days, Seed: opts.Seed + 3})
+	cfg := core.Config{
+		Theta:        0.8,
+		K:            synth.FundSectorCount(),
+		MinNeighbors: 2,
+		Seed:         opts.Seed + 1,
+	}
+	res, err := core.Cluster(d.Trans, cfg)
+	if err != nil {
+		return nil, err
+	}
+	ev := metrics.Evaluate(res.Assign, d.Labels)
+
+	// Per-cluster sector breakdown with the dominant sector named.
+	headers := []string{"cluster", "size", "dominant sector", "purity"}
+	var rows [][]string
+	for ci, members := range res.Clusters {
+		counts := map[string]int{}
+		for _, p := range members {
+			counts[d.Labels[p]]++
+		}
+		best, bestN := "", 0
+		keys := make([]string, 0, len(counts))
+		for s := range counts {
+			keys = append(keys, s)
+		}
+		sort.Strings(keys)
+		for _, s := range keys {
+			if counts[s] > bestN {
+				best, bestN = s, counts[s]
+			}
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", ci),
+			fmt.Sprintf("%d", len(members)),
+			best,
+			fmt.Sprintf("%.3f", float64(bestN)/float64(len(members))),
+		})
+	}
+	return &Report{
+		Tables: []string{FormatTable(headers, rows), compositionTable(d.Labels, res.Assign)},
+		Notes: []string{
+			evalNote(fmt.Sprintf("ROCK (θ=0.8, k=%d) on %d funds", cfg.K, d.Len()), ev),
+			"paper shape: bond funds, equity funds and precious-metals funds fall into separate clusters; metals sit alone (anti-correlated with equities).",
+		},
+	}, nil
+}

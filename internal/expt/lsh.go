@@ -1,0 +1,92 @@
+package expt
+
+import (
+	"fmt"
+
+	"github.com/rockclust/rock/internal/core"
+	"github.com/rockclust/rock/internal/metrics"
+	"github.com/rockclust/rock/internal/similarity"
+	"github.com/rockclust/rock/internal/synth"
+)
+
+// runA6 compares the exact inverted-index neighbor phase against MinHash
+// banded LSH on growing market-basket inputs: wall-clock time for the
+// neighbor phase, edge recall, and end-to-end clustering quality. The
+// expected shape: recall stays near 1 for θ above the band threshold,
+// clustering quality is unchanged, and the LSH advantage grows with n.
+func runA6(opts Options) (*Report, error) {
+	ns := []int{2000, 4000, 8000}
+	if opts.Quick {
+		ns = []int{500, 1000}
+	}
+	// The workload includes a pool of universally popular "hub" items
+	// (NoiseItems/NoiseRate): their posting lists grow linearly with n,
+	// so the exact inverted index degrades toward O(n²) candidate pairs,
+	// while MinHash signatures are insensitive to individual hub items.
+	// This is the regime (realistic for market baskets) where LSH earns
+	// its keep; on hub-free disjoint templates the exact index is already
+	// near-optimal and LSH only adds signature cost.
+	theta := 0.45
+	lshOpts := func() similarity.LSHOptions {
+		// Band threshold (1/32)^(1/3) ≈ 0.31 < θ.
+		return similarity.LSHOptions{Hashes: 96, Bands: 32, Seed: opts.Seed + 1}
+	}
+
+	timeExact := Series{Name: "exact (s)"}
+	timeLSH := Series{Name: "lsh (s)"}
+	recall := Series{Name: "edge recall"}
+	headers := []string{"n", "exact s", "lsh s", "recall", "exact err", "lsh err"}
+	var rows [][]string
+	for _, n := range ns {
+		d := synth.Basket(synth.BasketConfig{
+			Transactions:    n,
+			Clusters:        10,
+			TemplateItems:   15,
+			TransactionSize: 12,
+			NoiseItems:      15,
+			NoiseRate:       0.15,
+			Seed:            opts.Seed + int64(n),
+		})
+		var exact, approx *similarity.Neighbors
+		te := timeIt(func() { exact = similarity.ComputeIndexed(d.Trans, theta, similarity.Options{}) })
+		tl := timeIt(func() { approx = similarity.ComputeLSH(d.Trans, theta, lshOpts()) })
+		_, _, exactEdges := exact.Stats()
+		_, _, lshEdges := approx.Stats()
+		rec := 1.0
+		if exactEdges > 0 {
+			rec = float64(lshEdges) / float64(exactEdges)
+		}
+		timeExact.X = append(timeExact.X, float64(n))
+		timeExact.Y = append(timeExact.Y, te)
+		timeLSH.X = append(timeLSH.X, float64(n))
+		timeLSH.Y = append(timeLSH.Y, tl)
+		recall.X = append(recall.X, float64(n))
+		recall.Y = append(recall.Y, rec)
+
+		exactRes, err := core.Cluster(d.Trans, core.Config{Theta: theta, K: 10, Seed: 1})
+		if err != nil {
+			return nil, err
+		}
+		lshRes, err := core.Cluster(d.Trans, core.Config{Theta: theta, K: 10, Seed: 1,
+			LSHNeighbors: true, LSHHashes: 96, LSHBands: 32})
+		if err != nil {
+			return nil, err
+		}
+		evE := metrics.Evaluate(exactRes.Assign, d.Labels)
+		evL := metrics.Evaluate(lshRes.Assign, d.Labels)
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.3f", te), fmt.Sprintf("%.3f", tl),
+			fmt.Sprintf("%.4f", rec),
+			fmt.Sprintf("%.4f", evE.Error), fmt.Sprintf("%.4f", evL.Error),
+		})
+	}
+	return &Report{
+		Tables: []string{FormatTable(headers, rows)},
+		Series: []Series{timeExact, timeLSH, recall},
+		Notes: []string{
+			"LSH: 96 hashes, 32 bands (candidate threshold ≈ 0.31 < θ = 0.45); candidates verified exactly, so no false-positive neighbors.",
+			"measured shape (honest negative result): recall ≈ 0.97 at identical clustering error, but at these scales the count-based exact index beats LSH outright — accumulating intersection counts through posting lists costs ~1ns per candidate, while MinHash pays 96 hashes per item up front. LSH becomes attractive only when candidate sets approach n per record (very heavy hub structure) or n grows well past 10⁵.",
+		},
+	}, nil
+}

@@ -1,0 +1,76 @@
+package expt
+
+import (
+	"fmt"
+
+	"github.com/rockclust/rock/internal/baseline"
+	"github.com/rockclust/rock/internal/core"
+	"github.com/rockclust/rock/internal/metrics"
+	"github.com/rockclust/rock/internal/synth"
+)
+
+// votesTheta is the neighbor threshold for the votes experiment. The
+// paper used θ=0.73 on the real UCI data; our generator draws votes with
+// independent per-attribute jitter, which lowers within-party Jaccard
+// relative to the real data's correlated voting, so the threshold is
+// recalibrated to the value giving the same neighbor density (see
+// EXPERIMENTS.md).
+const votesTheta = 0.56
+
+// votesROCKConfig is the tuned configuration for E2/A3/A4: the paper
+// prunes sparsely-connected records up front and weeds tiny clusters, so
+// a minority of records end as outliers (41 of 435 in the paper's run).
+func votesROCKConfig() core.Config {
+	return core.Config{
+		Theta:        votesTheta,
+		K:            2,
+		MinNeighbors: 2,
+		WeedAt:       0.03,
+		WeedMaxSize:  2,
+		Seed:         1,
+	}
+}
+
+// runE1 reproduces the paper's "traditional hierarchical" votes table:
+// centroid-linkage agglomeration over the binary encoding with k=2, which
+// mixes the parties because the two blocks overlap geometrically.
+func runE1(opts Options) (*Report, error) {
+	d := synth.Votes(synth.VotesConfig{Seed: opts.Seed + 42})
+	res, err := baseline.Hierarchical(d.Trans, baseline.HierarchicalConfig{K: 2, Linkage: baseline.Centroid})
+	if err != nil {
+		return nil, err
+	}
+	ev := metrics.Evaluate(res.Assign, d.Labels)
+	rep := &Report{
+		Tables: []string{compositionTable(d.Labels, res.Assign)},
+		Notes: []string{
+			evalNote("traditional centroid (k=2)", ev),
+			"paper shape: both clusters heavily mixed — centroid distance cannot separate the parties.",
+		},
+	}
+	return rep, nil
+}
+
+// runE2 reproduces the ROCK votes table: k=2 with neighbor
+// pruning and weeding discarding a minority of records as outliers; the
+// surviving clusters are nearly pure.
+func runE2(opts Options) (*Report, error) {
+	d := synth.Votes(synth.VotesConfig{Seed: opts.Seed + 42})
+	cfg := votesROCKConfig()
+	res, err := core.Cluster(d.Trans, cfg)
+	if err != nil {
+		return nil, err
+	}
+	ev := metrics.Evaluate(res.Assign, d.Labels)
+	rep := &Report{
+		Tables: []string{compositionTable(d.Labels, res.Assign)},
+		Notes: []string{
+			evalNote(fmt.Sprintf("ROCK (θ=%.2f, k=2)", cfg.Theta), ev),
+			fmt.Sprintf("stats: m_a=%.1f m_m=%d link-pairs=%d pruned=%d weeded=%d merges=%d",
+				res.Stats.AvgNeighbors, res.Stats.MaxNeighbors, res.Stats.LinkPairs,
+				res.Stats.Pruned, res.Stats.Weeded, res.Stats.Merges),
+			"paper shape: one ≈95%-Democrat cluster and one ≈88%-Republican cluster, ~10% of records set aside as outliers (paper: 41 of 435).",
+		},
+	}
+	return rep, nil
+}

@@ -1,0 +1,75 @@
+package linkage
+
+import "sort"
+
+// Compact is a read-only CSR (compressed sparse row) view of a link
+// table: one sorted adjacency array per point plus parallel counts.
+// It holds the same information as Table in a fraction of the memory and
+// with cache-friendly iteration — the representation of choice once the
+// agglomeration is done and the links are only queried (criterion
+// evaluation, diagnostics, serialization).
+type Compact struct {
+	rowStart []int32 // len n+1; row i occupies [rowStart[i], rowStart[i+1])
+	cols     []int32
+	counts   []int32
+}
+
+// CompactFrom converts a Table into its CSR form.
+func CompactFrom(t *Table) *Compact {
+	n := t.Len()
+	c := &Compact{rowStart: make([]int32, n+1)}
+	total := 0
+	for i := 0; i < n; i++ {
+		total += len(t.Adj[i])
+	}
+	c.cols = make([]int32, 0, total)
+	c.counts = make([]int32, 0, total)
+	for i := 0; i < n; i++ {
+		c.rowStart[i] = int32(len(c.cols))
+		row := make([]int32, 0, len(t.Adj[i]))
+		for j := range t.Adj[i] {
+			row = append(row, j)
+		}
+		sort.Slice(row, func(a, b int) bool { return row[a] < row[b] })
+		for _, j := range row {
+			c.cols = append(c.cols, j)
+			c.counts = append(c.counts, t.Adj[i][j])
+		}
+	}
+	c.rowStart[n] = int32(len(c.cols))
+	return c
+}
+
+// Len reports the number of points.
+func (c *Compact) Len() int { return len(c.rowStart) - 1 }
+
+// Get returns link(i,j) by binary search over row i.
+func (c *Compact) Get(i, j int) int {
+	lo, hi := c.rowStart[i], c.rowStart[i+1]
+	target := int32(j)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case c.cols[mid] < target:
+			lo = mid + 1
+		case c.cols[mid] > target:
+			hi = mid
+		default:
+			return int(c.counts[mid])
+		}
+	}
+	return 0
+}
+
+// Degree reports the number of points linked to i.
+func (c *Compact) Degree(i int) int { return int(c.rowStart[i+1] - c.rowStart[i]) }
+
+// Pairs reports the number of undirected positive-link pairs.
+func (c *Compact) Pairs() int { return len(c.cols) / 2 }
+
+// Row iterates row i in ascending column order.
+func (c *Compact) Row(i int, fn func(j, count int)) {
+	for p := c.rowStart[i]; p < c.rowStart[i+1]; p++ {
+		fn(int(c.cols[p]), int(c.counts[p]))
+	}
+}

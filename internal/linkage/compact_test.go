@@ -1,0 +1,61 @@
+package linkage
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/rockclust/rock/internal/dataset"
+	"github.com/rockclust/rock/internal/similarity"
+)
+
+func TestCompactMatchesTable(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 10; trial++ {
+		n := 20 + r.Intn(60)
+		ts := make([]dataset.Transaction, n)
+		for i := range ts {
+			items := make([]dataset.Item, 2+r.Intn(6))
+			for k := range items {
+				items[k] = dataset.Item(r.Intn(18))
+			}
+			ts[i] = dataset.NewTransaction(items...)
+		}
+		nb := similarity.ComputeIndexed(ts, 0.3, similarity.Options{})
+		tbl := FromNeighbors(nb)
+		csr := CompactFrom(tbl)
+
+		if csr.Len() != tbl.Len() || csr.Pairs() != tbl.Pairs() {
+			t.Fatalf("shape mismatch: %d/%d pairs %d/%d", csr.Len(), tbl.Len(), csr.Pairs(), tbl.Pairs())
+		}
+		for i := 0; i < n; i++ {
+			if csr.Degree(i) != tbl.Degree(i) {
+				t.Fatalf("degree(%d): %d != %d", i, csr.Degree(i), tbl.Degree(i))
+			}
+			for j := 0; j < n; j++ {
+				if csr.Get(i, j) != tbl.Get(i, j) {
+					t.Fatalf("get(%d,%d): %d != %d", i, j, csr.Get(i, j), tbl.Get(i, j))
+				}
+			}
+		}
+		// Row iteration: ascending columns, counts match.
+		for i := 0; i < n; i++ {
+			last := -1
+			csr.Row(i, func(j, count int) {
+				if j <= last {
+					t.Fatalf("row %d not ascending", i)
+				}
+				last = j
+				if tbl.Get(i, j) != count {
+					t.Fatalf("row %d col %d count %d != %d", i, j, count, tbl.Get(i, j))
+				}
+			})
+		}
+	}
+}
+
+func TestCompactEmpty(t *testing.T) {
+	csr := CompactFrom(&Table{})
+	if csr.Len() != 0 || csr.Pairs() != 0 {
+		t.Fatal("empty compact wrong")
+	}
+}

@@ -1,0 +1,233 @@
+// Package metrics evaluates clusterings against ground-truth class
+// labels. It implements the clustering accuracy r = (Σ_i a_i)/n used
+// throughout the categorical-clustering literature (a_i = the count of the
+// majority class in cluster i), its complements e = 1−r and ace = e·n, and
+// the standard external indices ARI and NMI.
+//
+// Outlier handling: points assigned -1 are unclustered. They count against
+// accuracy (they contribute to no majority) and are treated as singleton
+// clusters by ARI/NMI so that both arguments remain partitions of the same
+// set.
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// Eval summarizes the agreement between a clustering and the ground truth.
+type Eval struct {
+	N         int // total points
+	Clustered int // points assigned to some cluster
+	Outliers  int // points assigned -1
+	Majority  int // Σ_i a_i over real clusters
+
+	Accuracy      float64 // Majority / N — the literature's r
+	Error         float64 // 1 − Accuracy — the literature's e
+	AbsoluteError int     // N − Majority — the literature's ace
+	ARI           float64 // adjusted Rand index
+	NMI           float64 // normalized mutual information (√ normalization)
+}
+
+// Evaluate computes all metrics for a cluster assignment (cluster index
+// per point, -1 for outliers) against parallel ground-truth labels.
+func Evaluate(assign []int, labels []string) Eval {
+	if len(assign) != len(labels) {
+		panic("metrics: assign and labels length mismatch")
+	}
+	var ev Eval
+	ev.N = len(assign)
+	if ev.N == 0 {
+		return ev
+	}
+
+	_, counts := ContingencyTable(assign, labels)
+	k := realClusterCount(assign)
+	for ci, row := range counts {
+		if ci >= k {
+			break // remaining rows are outlier singletons
+		}
+		best := 0
+		for _, c := range row {
+			if c > best {
+				best = c
+			}
+		}
+		ev.Majority += best
+	}
+	for _, a := range assign {
+		if a >= 0 {
+			ev.Clustered++
+		} else {
+			ev.Outliers++
+		}
+	}
+	ev.Accuracy = float64(ev.Majority) / float64(ev.N)
+	ev.Error = 1 - ev.Accuracy
+	ev.AbsoluteError = ev.N - ev.Majority
+	ev.ARI = ari(counts, ev.N)
+	ev.NMI = nmi(counts, ev.N)
+	return ev
+}
+
+// realClusterCount returns 1 + max cluster index, the number of non-outlier
+// clusters referenced by assign.
+func realClusterCount(assign []int) int {
+	k := 0
+	for _, a := range assign {
+		if a+1 > k {
+			k = a + 1
+		}
+	}
+	return k
+}
+
+// ContingencyTable builds the cluster × class count matrix. Rows 0..k-1
+// are the real clusters; each outlier point contributes one extra
+// singleton row, keeping the row space a partition. Classes are returned
+// sorted; columns follow that order.
+func ContingencyTable(assign []int, labels []string) (classes []string, counts [][]int) {
+	classIdx := map[string]int{}
+	for _, l := range labels {
+		if _, ok := classIdx[l]; !ok {
+			classIdx[l] = 0
+		}
+	}
+	for c := range classIdx {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for i, c := range classes {
+		classIdx[c] = i
+	}
+
+	k := realClusterCount(assign)
+	nOut := 0
+	for _, a := range assign {
+		if a < 0 {
+			nOut++
+		}
+	}
+	counts = make([][]int, k+nOut)
+	for i := range counts {
+		counts[i] = make([]int, len(classes))
+	}
+	out := k
+	for p, a := range assign {
+		row := a
+		if a < 0 {
+			row = out
+			out++
+		}
+		counts[row][classIdx[labels[p]]]++
+	}
+	return classes, counts
+}
+
+// choose2 returns n·(n−1)/2 as a float to avoid overflow in index sums.
+func choose2(n int) float64 { return float64(n) * float64(n-1) / 2 }
+
+// ari computes the adjusted Rand index from a contingency table.
+func ari(counts [][]int, n int) float64 {
+	if n < 2 {
+		return 1
+	}
+	var sumCells, sumRows, sumCols float64
+	colTotals := map[int]int{}
+	for _, row := range counts {
+		rowTotal := 0
+		for j, c := range row {
+			sumCells += choose2(c)
+			rowTotal += c
+			colTotals[j] += c
+		}
+		sumRows += choose2(rowTotal)
+	}
+	for _, c := range colTotals {
+		sumCols += choose2(c)
+	}
+	expected := sumRows * sumCols / choose2(n)
+	maxIdx := (sumRows + sumCols) / 2
+	if maxIdx == expected {
+		return 1 // both partitions trivial in the same way
+	}
+	return (sumCells - expected) / (maxIdx - expected)
+}
+
+// nmi computes normalized mutual information I(C;L)/√(H(C)·H(L)).
+func nmi(counts [][]int, n int) float64 {
+	if n == 0 {
+		return 1
+	}
+	nf := float64(n)
+	rowT := make([]float64, len(counts))
+	var colT []float64
+	for i, row := range counts {
+		if colT == nil {
+			colT = make([]float64, len(row))
+		}
+		for j, c := range row {
+			rowT[i] += float64(c)
+			colT[j] += float64(c)
+		}
+	}
+	var mi, hr, hc float64
+	for i, row := range counts {
+		for j, c := range row {
+			if c == 0 {
+				continue
+			}
+			p := float64(c) / nf
+			mi += p * math.Log(p*nf*nf/(rowT[i]*colT[j]))
+		}
+	}
+	for _, t := range rowT {
+		if t > 0 {
+			p := t / nf
+			hr -= p * math.Log(p)
+		}
+	}
+	for _, t := range colT {
+		if t > 0 {
+			p := t / nf
+			hc -= p * math.Log(p)
+		}
+	}
+	if hr == 0 && hc == 0 {
+		return 1 // both partitions trivial: identical
+	}
+	if hr == 0 || hc == 0 {
+		return 0
+	}
+	return mi / math.Sqrt(hr*hc)
+}
+
+// ClusterEntropy returns the weighted mean class entropy over clusters (in
+// nats): 0 for pure clusters, higher for mixed ones. Outlier singletons
+// contribute zero entropy but full weight.
+func ClusterEntropy(assign []int, labels []string) float64 {
+	_, counts := ContingencyTable(assign, labels)
+	n := len(assign)
+	if n == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, row := range counts {
+		size := 0
+		for _, c := range row {
+			size += c
+		}
+		if size == 0 {
+			continue
+		}
+		h := 0.0
+		for _, c := range row {
+			if c > 0 {
+				p := float64(c) / float64(size)
+				h -= p * math.Log(p)
+			}
+		}
+		total += float64(size) / float64(n) * h
+	}
+	return total
+}

@@ -1,0 +1,168 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestEvaluatePerfect(t *testing.T) {
+	assign := []int{0, 0, 1, 1, 2}
+	labels := []string{"a", "a", "b", "b", "c"}
+	ev := Evaluate(assign, labels)
+	if ev.Accuracy != 1 || ev.Error != 0 || ev.AbsoluteError != 0 {
+		t.Fatalf("perfect clustering: %+v", ev)
+	}
+	if math.Abs(ev.ARI-1) > 1e-12 {
+		t.Fatalf("ARI = %g, want 1", ev.ARI)
+	}
+	if math.Abs(ev.NMI-1) > 1e-12 {
+		t.Fatalf("NMI = %g, want 1", ev.NMI)
+	}
+	if ev.Clustered != 5 || ev.Outliers != 0 {
+		t.Fatalf("counts: %+v", ev)
+	}
+}
+
+func TestEvaluateHandComputed(t *testing.T) {
+	// Cluster 0: {a,a,b} majority 2; cluster 1: {b,b} majority 2.
+	assign := []int{0, 0, 0, 1, 1}
+	labels := []string{"a", "a", "b", "b", "b"}
+	ev := Evaluate(assign, labels)
+	if ev.Majority != 4 {
+		t.Fatalf("Majority = %d, want 4", ev.Majority)
+	}
+	if math.Abs(ev.Accuracy-0.8) > 1e-12 || ev.AbsoluteError != 1 {
+		t.Fatalf("accuracy %g abs %d", ev.Accuracy, ev.AbsoluteError)
+	}
+}
+
+func TestEvaluateOutliersCountAgainstAccuracy(t *testing.T) {
+	assign := []int{0, 0, -1, -1}
+	labels := []string{"a", "a", "a", "a"}
+	ev := Evaluate(assign, labels)
+	if ev.Majority != 2 || ev.Accuracy != 0.5 {
+		t.Fatalf("outliers must not count toward majority: %+v", ev)
+	}
+	if ev.Outliers != 2 || ev.Clustered != 2 {
+		t.Fatalf("counts: %+v", ev)
+	}
+}
+
+func TestEvaluateRelabelInvariance(t *testing.T) {
+	labels := []string{"a", "a", "b", "b", "c", "c"}
+	a := Evaluate([]int{0, 0, 1, 1, 2, 2}, labels)
+	b := Evaluate([]int{2, 2, 0, 0, 1, 1}, labels)
+	if a.Accuracy != b.Accuracy || math.Abs(a.ARI-b.ARI) > 1e-12 || math.Abs(a.NMI-b.NMI) > 1e-12 {
+		t.Fatal("metrics not invariant to cluster relabeling")
+	}
+}
+
+func TestARIRandomNearZero(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	n := 4000
+	assign := make([]int, n)
+	labels := make([]string, n)
+	for i := range assign {
+		assign[i] = r.Intn(4)
+		labels[i] = string(rune('a' + r.Intn(4)))
+	}
+	ev := Evaluate(assign, labels)
+	if math.Abs(ev.ARI) > 0.03 {
+		t.Fatalf("ARI of independent partitions = %g, want ≈ 0", ev.ARI)
+	}
+	if ev.NMI > 0.05 {
+		t.Fatalf("NMI of independent partitions = %g, want ≈ 0", ev.NMI)
+	}
+}
+
+func TestARIBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + r.Intn(40)
+		assign := make([]int, n)
+		labels := make([]string, n)
+		for i := range assign {
+			assign[i] = r.Intn(3) - 1 // includes outliers
+			labels[i] = string(rune('a' + r.Intn(3)))
+		}
+		ev := Evaluate(assign, labels)
+		if ev.ARI > 1+1e-9 {
+			t.Fatalf("ARI %g > 1", ev.ARI)
+		}
+		if ev.NMI < -1e-9 || ev.NMI > 1+1e-9 {
+			t.Fatalf("NMI %g outside [0,1]", ev.NMI)
+		}
+		if ev.Accuracy < 0 || ev.Accuracy > 1 {
+			t.Fatalf("accuracy %g outside [0,1]", ev.Accuracy)
+		}
+		if ev.AbsoluteError != ev.N-ev.Majority {
+			t.Fatal("ace identity violated")
+		}
+	}
+}
+
+func TestContingencyTable(t *testing.T) {
+	assign := []int{0, 1, 0, -1}
+	labels := []string{"x", "y", "y", "x"}
+	classes, counts := ContingencyTable(assign, labels)
+	if len(classes) != 2 || classes[0] != "x" || classes[1] != "y" {
+		t.Fatalf("classes = %v", classes)
+	}
+	// rows: cluster0, cluster1, outlier singleton.
+	if len(counts) != 3 {
+		t.Fatalf("rows = %d", len(counts))
+	}
+	if counts[0][0] != 1 || counts[0][1] != 1 {
+		t.Fatalf("cluster 0 row = %v", counts[0])
+	}
+	if counts[1][1] != 1 || counts[2][0] != 1 {
+		t.Fatalf("rows = %v", counts)
+	}
+}
+
+func TestClusterEntropy(t *testing.T) {
+	// Pure clusters: zero entropy.
+	if got := ClusterEntropy([]int{0, 0, 1, 1}, []string{"a", "a", "b", "b"}); got != 0 {
+		t.Fatalf("pure entropy = %g", got)
+	}
+	// One maximally mixed cluster of two classes: ln 2.
+	got := ClusterEntropy([]int{0, 0, 0, 0}, []string{"a", "a", "b", "b"})
+	if math.Abs(got-math.Log(2)) > 1e-12 {
+		t.Fatalf("mixed entropy = %g, want ln2", got)
+	}
+	// Mixing lowers NMI and raises entropy monotonically.
+	mixed := ClusterEntropy([]int{0, 0, 1, 1}, []string{"a", "b", "a", "b"})
+	if mixed <= 0 {
+		t.Fatal("mixed clustering should have positive entropy")
+	}
+	if ClusterEntropy(nil, nil) != 0 {
+		t.Fatal("empty entropy should be 0")
+	}
+}
+
+func TestEvaluateEmptyAndMismatch(t *testing.T) {
+	ev := Evaluate(nil, nil)
+	if ev.N != 0 {
+		t.Fatal("empty eval wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch must panic")
+		}
+	}()
+	Evaluate([]int{0}, []string{"a", "b"})
+}
+
+func TestDegenerateSingleCluster(t *testing.T) {
+	// Everything in one cluster, one class: trivially perfect.
+	ev := Evaluate([]int{0, 0, 0}, []string{"a", "a", "a"})
+	if ev.ARI != 1 || ev.NMI != 1 || ev.Accuracy != 1 {
+		t.Fatalf("trivial agreement: %+v", ev)
+	}
+	// Everything in one cluster, two classes: accuracy = majority share.
+	ev = Evaluate([]int{0, 0, 0, 0}, []string{"a", "a", "a", "b"})
+	if ev.Accuracy != 0.75 {
+		t.Fatalf("accuracy = %g", ev.Accuracy)
+	}
+}

@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// naiveARI computes the adjusted Rand index by direct O(n²) pair
+// counting — an independent oracle for the contingency-table
+// implementation. Outliers are treated as singleton clusters by giving
+// each a unique id, mirroring Evaluate's convention.
+func naiveARI(assign []int, labels []string) float64 {
+	n := len(assign)
+	ids := make([]int, n)
+	next := 1 << 20
+	for i, a := range assign {
+		if a < 0 {
+			ids[i] = next
+			next++
+		} else {
+			ids[i] = a
+		}
+	}
+	var a, b, c, d float64 // same/same, same/diff, diff/same, diff/diff
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			sameCluster := ids[i] == ids[j]
+			sameClass := labels[i] == labels[j]
+			switch {
+			case sameCluster && sameClass:
+				a++
+			case sameCluster:
+				b++
+			case sameClass:
+				c++
+			default:
+				d++
+			}
+		}
+	}
+	// Hubert–Arabie ARI from pair counts.
+	num := 2 * (a*d - b*c)
+	den := (a+b)*(b+d) + (a+c)*(c+d)
+	if den == 0 {
+		return 1
+	}
+	return num / den
+}
+
+func TestARIAgainstPairCountingOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + r.Intn(60)
+		assign := make([]int, n)
+		labels := make([]string, n)
+		for i := range assign {
+			assign[i] = r.Intn(4) - 1 // -1..2, includes outliers
+			labels[i] = string(rune('a' + r.Intn(3)))
+		}
+		got := Evaluate(assign, labels).ARI
+		want := naiveARI(assign, labels)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: ARI %g != oracle %g (assign=%v labels=%v)", trial, got, want, assign, labels)
+		}
+	}
+}
+
+// The accuracy metric has a simple oracle too: sort each cluster's label
+// multiset and take the max count.
+func TestMajorityAgainstOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(78))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + r.Intn(50)
+		assign := make([]int, n)
+		labels := make([]string, n)
+		for i := range assign {
+			assign[i] = r.Intn(3) - 1
+			labels[i] = string(rune('a' + r.Intn(4)))
+		}
+		want := 0
+		byCluster := map[int]map[string]int{}
+		for i, a := range assign {
+			if a < 0 {
+				continue
+			}
+			if byCluster[a] == nil {
+				byCluster[a] = map[string]int{}
+			}
+			byCluster[a][labels[i]]++
+		}
+		for _, counts := range byCluster {
+			best := 0
+			for _, c := range counts {
+				if c > best {
+					best = c
+				}
+			}
+			want += best
+		}
+		if got := Evaluate(assign, labels).Majority; got != want {
+			t.Fatalf("trial %d: majority %d != oracle %d", trial, got, want)
+		}
+	}
+}

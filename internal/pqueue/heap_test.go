@@ -1,0 +1,174 @@
+package pqueue
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestBasicOrder(t *testing.T) {
+	h := New()
+	h.Set(1, 0.5)
+	h.Set(2, 0.9)
+	h.Set(3, 0.1)
+	if k, p, ok := h.Peek(); !ok || k != 2 || p != 0.9 {
+		t.Fatalf("Peek = %d,%g,%v", k, p, ok)
+	}
+	var got []int
+	for h.Len() > 0 {
+		k, _, _ := h.Pop()
+		got = append(got, k)
+	}
+	want := []int{2, 1, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", got, want)
+		}
+	}
+	if _, _, ok := h.Pop(); ok {
+		t.Fatal("Pop on empty heap reported ok")
+	}
+}
+
+func TestTieBreaksOnSmallerKey(t *testing.T) {
+	h := New()
+	h.Set(9, 1.0)
+	h.Set(4, 1.0)
+	h.Set(7, 1.0)
+	var got []int
+	for h.Len() > 0 {
+		k, _, _ := h.Pop()
+		got = append(got, k)
+	}
+	if got[0] != 4 || got[1] != 7 || got[2] != 9 {
+		t.Fatalf("tie order = %v, want [4 7 9]", got)
+	}
+}
+
+func TestSetUpdates(t *testing.T) {
+	h := New()
+	h.Set(1, 0.1)
+	h.Set(2, 0.2)
+	h.Set(1, 0.9) // raise
+	if k, _, _ := h.Peek(); k != 1 {
+		t.Fatal("raise did not float key to top")
+	}
+	h.Set(1, 0.05) // lower
+	if k, _, _ := h.Peek(); k != 2 {
+		t.Fatal("lower did not sink key")
+	}
+	if p, ok := h.Priority(1); !ok || p != 0.05 {
+		t.Fatalf("Priority(1) = %g,%v", p, ok)
+	}
+	if h.Len() != 2 {
+		t.Fatalf("Len = %d after updates, want 2", h.Len())
+	}
+}
+
+func TestRemove(t *testing.T) {
+	h := New()
+	for i := 0; i < 10; i++ {
+		h.Set(i, float64(i))
+	}
+	if !h.Remove(9) || h.Remove(9) {
+		t.Fatal("Remove existence reporting wrong")
+	}
+	if !h.Remove(4) {
+		t.Fatal("Remove(4) failed")
+	}
+	if h.Contains(4) || !h.Contains(3) {
+		t.Fatal("Contains wrong after Remove")
+	}
+	var got []int
+	for h.Len() > 0 {
+		k, _, _ := h.Pop()
+		got = append(got, k)
+	}
+	want := []int{8, 7, 6, 5, 3, 2, 1, 0}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+// Exhaustive randomized comparison against a naive priority map.
+func TestAgainstNaiveModel(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	h := New()
+	model := map[int]float64{}
+	naiveBest := func() (int, float64, bool) {
+		best, bp, ok := 0, 0.0, false
+		for k, p := range model {
+			if !ok || p > bp || (p == bp && k < best) {
+				best, bp, ok = k, p, true
+			}
+		}
+		return best, bp, ok
+	}
+	for step := 0; step < 5000; step++ {
+		switch op := r.Intn(4); op {
+		case 0, 1: // set
+			k := r.Intn(40)
+			p := float64(r.Intn(20)) / 4 // coarse priorities force ties
+			h.Set(k, p)
+			model[k] = p
+		case 2: // remove
+			k := r.Intn(40)
+			_, inModel := model[k]
+			if got := h.Remove(k); got != inModel {
+				t.Fatalf("step %d: Remove(%d) = %v, model %v", step, k, got, inModel)
+			}
+			delete(model, k)
+		case 3: // pop
+			mk, mp, mok := naiveBest()
+			k, p, ok := h.Pop()
+			if ok != mok || (ok && (k != mk || p != mp)) {
+				t.Fatalf("step %d: Pop = %d,%g,%v; model %d,%g,%v", step, k, p, ok, mk, mp, mok)
+			}
+			delete(model, k)
+		}
+		if h.Len() != len(model) {
+			t.Fatalf("step %d: Len = %d, model %d", step, h.Len(), len(model))
+		}
+	}
+	// Drain and verify global sortedness.
+	type entry struct {
+		k int
+		p float64
+	}
+	var drained []entry
+	for h.Len() > 0 {
+		k, p, _ := h.Pop()
+		drained = append(drained, entry{k, p})
+	}
+	if !sort.SliceIsSorted(drained, func(i, j int) bool {
+		if drained[i].p != drained[j].p {
+			return drained[i].p > drained[j].p
+		}
+		return drained[i].k < drained[j].k
+	}) {
+		t.Fatal("drained sequence not in heap order")
+	}
+	if len(drained) != len(model) {
+		t.Fatal("drain count mismatch")
+	}
+}
+
+func TestKeys(t *testing.T) {
+	h := New()
+	h.Set(3, 1)
+	h.Set(1, 2)
+	ks := h.Keys()
+	sort.Ints(ks)
+	if len(ks) != 2 || ks[0] != 1 || ks[1] != 3 {
+		t.Fatalf("Keys = %v", ks)
+	}
+	ks[0] = 99 // must not corrupt the heap
+	if !h.Contains(1) {
+		t.Fatal("Keys leaked internal storage")
+	}
+}

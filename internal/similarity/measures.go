@@ -1,0 +1,72 @@
+// Package similarity provides the set-similarity measures used by ROCK and
+// the computation of θ-neighbor lists over a dataset, both by brute force
+// and through an inverted index over items.
+//
+// Throughout the package, similarity values lie in [0,1] and two
+// transactions are θ-neighbors when sim(a,b) ≥ θ. Following the paper, the
+// default measure for market-basket data (and for categorical records
+// encoded as attribute=value transactions) is the Jaccard coefficient.
+package similarity
+
+import (
+	"math"
+
+	"github.com/rockclust/rock/internal/dataset"
+)
+
+// Measure computes a similarity in [0,1] between two transactions.
+type Measure func(a, b dataset.Transaction) float64
+
+// Jaccard returns |a ∩ b| / |a ∪ b|, the paper's similarity for
+// market-basket transactions. Two empty transactions are defined to have
+// similarity 0: an empty record supports no evidence of association.
+func Jaccard(a, b dataset.Transaction) float64 {
+	inter := a.IntersectSize(b)
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// Dice returns 2|a ∩ b| / (|a| + |b|).
+func Dice(a, b dataset.Transaction) float64 {
+	if len(a)+len(b) == 0 {
+		return 0
+	}
+	return 2 * float64(a.IntersectSize(b)) / float64(len(a)+len(b))
+}
+
+// Cosine returns |a ∩ b| / √(|a|·|b|), the cosine of the angle between the
+// transactions' binary vectors.
+func Cosine(a, b dataset.Transaction) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	return float64(a.IntersectSize(b)) / math.Sqrt(float64(len(a))*float64(len(b)))
+}
+
+// Overlap returns |a ∩ b| / min(|a|, |b|).
+func Overlap(a, b dataset.Transaction) float64 {
+	m := len(a)
+	if len(b) < m {
+		m = len(b)
+	}
+	if m == 0 {
+		return 0
+	}
+	return float64(a.IntersectSize(b)) / float64(m)
+}
+
+// Attribute returns the fraction of a fixed number of categorical
+// attributes on which two encoded records agree: |a ∩ b| / nattrs. It is
+// the complement of the Hamming distance for records without missing
+// values and is provided for datasets where every record has full arity.
+func Attribute(nattrs int) Measure {
+	return func(a, b dataset.Transaction) float64 {
+		if nattrs <= 0 {
+			return 0
+		}
+		return float64(a.IntersectSize(b)) / float64(nattrs)
+	}
+}

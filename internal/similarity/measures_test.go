@@ -1,0 +1,134 @@
+package similarity
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/rockclust/rock/internal/dataset"
+)
+
+func tr(items ...dataset.Item) dataset.Transaction { return dataset.NewTransaction(items...) }
+
+func TestJaccardValues(t *testing.T) {
+	tests := []struct {
+		a, b dataset.Transaction
+		want float64
+	}{
+		{tr(1, 2, 3), tr(1, 2, 3), 1},
+		{tr(1, 2, 3), tr(4, 5, 6), 0},
+		{tr(1, 2, 3), tr(2, 3, 4), 0.5},
+		{tr(1, 2), tr(1, 2, 3, 4), 0.5},
+		{tr(), tr(), 0},
+		{tr(), tr(1), 0},
+	}
+	for _, tc := range tests {
+		if got := Jaccard(tc.a, tc.b); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Jaccard(%v,%v) = %g, want %g", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestPaperNeighborExample(t *testing.T) {
+	// The paper's market-basket example: {1,2,3,4,5}-subsets of size 3
+	// have sim = 2/4 = 0.5 when sharing two items and 1/5 = 0.2 when
+	// sharing one.
+	a := tr(1, 2, 3)
+	b := tr(1, 2, 4)
+	c := tr(3, 4, 5)
+	if got := Jaccard(a, b); got != 0.5 {
+		t.Errorf("sim({1,2,3},{1,2,4}) = %g, want 0.5", got)
+	}
+	if got := Jaccard(a, c); got != 0.2 {
+		t.Errorf("sim({1,2,3},{3,4,5}) = %g, want 0.2", got)
+	}
+}
+
+func TestOtherMeasures(t *testing.T) {
+	a, b := tr(1, 2, 3), tr(2, 3, 4, 5)
+	if got := Dice(a, b); math.Abs(got-4.0/7.0) > 1e-12 {
+		t.Errorf("Dice = %g", got)
+	}
+	if got := Cosine(a, b); math.Abs(got-2/math.Sqrt(12)) > 1e-12 {
+		t.Errorf("Cosine = %g", got)
+	}
+	if got := Overlap(a, b); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Errorf("Overlap = %g", got)
+	}
+	if got := Attribute(4)(a, b); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Attribute(4) = %g", got)
+	}
+	if got := Attribute(0)(a, b); got != 0 {
+		t.Errorf("Attribute(0) = %g, want 0", got)
+	}
+	for _, m := range []Measure{Dice, Cosine, Overlap} {
+		if got := m(tr(), tr()); got != 0 {
+			t.Errorf("measure on empty pair = %g, want 0", got)
+		}
+	}
+}
+
+func randTrans(r *rand.Rand, universe, maxLen int) dataset.Transaction {
+	n := r.Intn(maxLen + 1)
+	items := make([]dataset.Item, n)
+	for i := range items {
+		items[i] = dataset.Item(r.Intn(universe))
+	}
+	return dataset.NewTransaction(items...)
+}
+
+func TestMeasureProperties(t *testing.T) {
+	measures := map[string]Measure{"jaccard": Jaccard, "dice": Dice, "cosine": Cosine, "overlap": Overlap}
+	for name, m := range measures {
+		cfg := &quick.Config{
+			MaxCount: 250,
+			Values: func(vals []reflect.Value, r *rand.Rand) {
+				vals[0] = reflect.ValueOf(randTrans(r, 15, 8))
+				vals[1] = reflect.ValueOf(randTrans(r, 15, 8))
+			},
+		}
+		prop := func(a, b dataset.Transaction) bool {
+			s := m(a, b)
+			if s < 0 || s > 1+1e-12 {
+				return false // range
+			}
+			if math.Abs(s-m(b, a)) > 1e-12 {
+				return false // symmetry
+			}
+			if len(a) > 0 && m(a, a) != 1 {
+				return false // self-similarity
+			}
+			if a.IntersectSize(b) == 0 && s != 0 {
+				return false // disjoint sets are maximally dissimilar
+			}
+			return true
+		}
+		if err := quick.Check(prop, cfg); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// Jaccard is a true metric on sets via 1 - J; spot-check the triangle
+// inequality property on random triples.
+func TestJaccardTriangle(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			for i := range vals {
+				vals[i] = reflect.ValueOf(randTrans(r, 12, 8))
+			}
+		},
+	}
+	prop := func(a, b, c dataset.Transaction) bool {
+		dab := 1 - Jaccard(a, b)
+		dbc := 1 - Jaccard(b, c)
+		dac := 1 - Jaccard(a, c)
+		return dac <= dab+dbc+1e-9
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,98 @@
+package similarity
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/rockclust/rock/internal/dataset"
+)
+
+// lshData builds clustered transactions with high within-group Jaccard.
+func lshData(r *rand.Rand, groups, perGroup int) []dataset.Transaction {
+	var ts []dataset.Transaction
+	for g := 0; g < groups; g++ {
+		base := g * 30
+		for i := 0; i < perGroup; i++ {
+			items := make([]dataset.Item, 0, 10)
+			for k := 0; k < 10; k++ {
+				items = append(items, dataset.Item(base+r.Intn(12)))
+			}
+			ts = append(ts, dataset.NewTransaction(items...))
+		}
+	}
+	return ts
+}
+
+func TestLSHNoFalsePositives(t *testing.T) {
+	r := rand.New(rand.NewSource(51))
+	ts := lshData(r, 3, 40)
+	theta := 0.5
+	exact := Compute(ts, theta, Options{})
+	approx := ComputeLSH(ts, theta, LSHOptions{Seed: 1})
+	for i := range ts {
+		for _, j := range approx.Lists[i] {
+			if !exact.Contains(i, j) {
+				t.Fatalf("false positive: %d-%d (sim %g)", i, j, Jaccard(ts[i], ts[int(j)]))
+			}
+		}
+	}
+}
+
+func TestLSHHighRecallAboveThreshold(t *testing.T) {
+	r := rand.New(rand.NewSource(52))
+	ts := lshData(r, 4, 50)
+	theta := 0.6 // well above the default band threshold ≈ (1/24)^(1/4) ≈ 0.45
+	exact := Compute(ts, theta, Options{})
+	approx := ComputeLSH(ts, theta, LSHOptions{Seed: 2})
+	_, _, exactTotal := exact.Stats()
+	_, _, approxTotal := approx.Stats()
+	if exactTotal == 0 {
+		t.Fatal("degenerate test data: no exact neighbors")
+	}
+	recall := float64(approxTotal) / float64(exactTotal)
+	if recall < 0.95 {
+		t.Fatalf("recall %.3f < 0.95 (%d of %d edges)", recall, approxTotal, exactTotal)
+	}
+}
+
+func TestLSHDeterministicPerSeed(t *testing.T) {
+	r := rand.New(rand.NewSource(53))
+	ts := lshData(r, 2, 30)
+	a := ComputeLSH(ts, 0.5, LSHOptions{Seed: 9})
+	b := ComputeLSH(ts, 0.5, LSHOptions{Seed: 9})
+	if !neighborsEqual(a, b) {
+		t.Fatal("same seed produced different neighbor lists")
+	}
+}
+
+func TestLSHSelfAndEmpty(t *testing.T) {
+	ts := []dataset.Transaction{
+		dataset.NewTransaction(1, 2, 3),
+		dataset.NewTransaction(1, 2, 3),
+		dataset.NewTransaction(), // empty: never anyone's neighbor
+	}
+	nb := ComputeLSH(ts, 0.9, LSHOptions{Seed: 1, IncludeSelf: true})
+	if !nb.Contains(0, 0) || !nb.Contains(0, 1) {
+		t.Fatalf("identical transactions not found: %v", nb.Lists)
+	}
+	if nb.Degree(2) != 0 {
+		t.Fatalf("empty transaction has neighbors: %v", nb.Lists[2])
+	}
+	empty := ComputeLSH(nil, 0.5, LSHOptions{})
+	if empty.Len() != 0 {
+		t.Fatal("nil input mishandled")
+	}
+}
+
+func TestLSHMoreBandsRaiseRecall(t *testing.T) {
+	r := rand.New(rand.NewSource(54))
+	ts := lshData(r, 3, 40)
+	theta := 0.5
+	few := ComputeLSH(ts, theta, LSHOptions{Hashes: 32, Bands: 4, Seed: 3})
+	many := ComputeLSH(ts, theta, LSHOptions{Hashes: 96, Bands: 32, Seed: 3})
+	_, _, fewTotal := few.Stats()
+	_, _, manyTotal := many.Stats()
+	if manyTotal < fewTotal {
+		t.Fatalf("more bands found fewer neighbors: %d vs %d", manyTotal, fewTotal)
+	}
+}

@@ -1,0 +1,212 @@
+package similarity
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/rockclust/rock/internal/dataset"
+)
+
+// Neighbors holds the θ-neighbor lists of a dataset: Lists[i] is the
+// sorted slice of indices j with sim(i,j) ≥ θ. Whether i itself appears in
+// Lists[i] is controlled by Options.IncludeSelf.
+type Neighbors struct {
+	Lists [][]int32
+}
+
+// Len reports the number of points.
+func (nb *Neighbors) Len() int { return len(nb.Lists) }
+
+// Degree reports the number of neighbors of point i.
+func (nb *Neighbors) Degree(i int) int { return len(nb.Lists[i]) }
+
+// Contains reports whether j is a neighbor of i.
+func (nb *Neighbors) Contains(i int, j int32) bool {
+	l := nb.Lists[i]
+	k := sort.Search(len(l), func(k int) bool { return l[k] >= j })
+	return k < len(l) && l[k] == j
+}
+
+// Stats summarizes neighbor-list sizes: the average and maximum degree,
+// written m_a and m_m in the paper's complexity analysis, and the total
+// number of directed neighbor entries.
+func (nb *Neighbors) Stats() (avg float64, max int, total int) {
+	for _, l := range nb.Lists {
+		total += len(l)
+		if len(l) > max {
+			max = len(l)
+		}
+	}
+	if len(nb.Lists) > 0 {
+		avg = float64(total) / float64(len(nb.Lists))
+	}
+	return avg, max, total
+}
+
+// Options configure neighbor computation.
+type Options struct {
+	// Measure is the similarity; nil means Jaccard.
+	Measure Measure
+	// IncludeSelf adds each point to its own neighbor list (sim(p,p)=1 ≥ θ
+	// always holds for the provided measures on non-empty transactions).
+	// The default, matching pyclustering and cba, is to exclude self.
+	IncludeSelf bool
+	// Workers bounds the number of goroutines used; 0 means GOMAXPROCS.
+	// Results are identical regardless of worker count.
+	Workers int
+}
+
+func (o Options) measure() Measure {
+	if o.Measure == nil {
+		return Jaccard
+	}
+	return o.Measure
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return defaultWorkers()
+}
+
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Compute builds neighbor lists by brute force, evaluating the measure on
+// all O(n²) pairs. It works with any Measure and any θ. Rows are computed
+// in parallel; output is deterministic.
+func Compute(ts []dataset.Transaction, theta float64, opts Options) *Neighbors {
+	n := len(ts)
+	sim := opts.measure()
+	nb := &Neighbors{Lists: make([][]int32, n)}
+	var wg sync.WaitGroup
+	rows := make(chan int)
+	for w := 0; w < opts.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range rows {
+				var l []int32
+				for j := 0; j < n; j++ {
+					if j == i {
+						if opts.IncludeSelf && sim(ts[i], ts[i]) >= theta {
+							l = append(l, int32(j))
+						}
+						continue
+					}
+					if sim(ts[i], ts[j]) >= theta {
+						l = append(l, int32(j))
+					}
+				}
+				nb.Lists[i] = l
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		rows <- i
+	}
+	close(rows)
+	wg.Wait()
+	return nb
+}
+
+// ComputeIndexed builds neighbor lists through an inverted index over
+// items: only pairs sharing at least one item are examined, which is exact
+// for the intersection-based measures in this package whenever θ > 0
+// (pairs with empty intersection have similarity 0 < θ). For θ ≤ 0 or a
+// custom Measure that can be positive on disjoint transactions, use
+// Compute.
+//
+// The index yields intersection sizes directly, so each candidate pair
+// costs O(1) on top of the posting-list scan.
+func ComputeIndexed(ts []dataset.Transaction, theta float64, opts Options) *Neighbors {
+	n := len(ts)
+	if theta <= 0 {
+		return Compute(ts, theta, opts)
+	}
+	sim := opts.measure()
+
+	// Build postings: item -> ascending ids of transactions holding it.
+	var nitems int
+	for _, t := range ts {
+		for _, it := range t {
+			if int(it) >= nitems {
+				nitems = int(it) + 1
+			}
+		}
+	}
+	postings := make([][]int32, nitems)
+	for i, t := range ts {
+		for _, it := range t {
+			postings[it] = append(postings[it], int32(i))
+		}
+	}
+
+	// With the default Jaccard measure the similarity follows directly
+	// from the accumulated intersection count — O(1) per candidate. A
+	// custom Measure falls back to re-evaluating on the candidate pair.
+	jaccardFast := opts.Measure == nil
+
+	nb := &Neighbors{Lists: make([][]int32, n)}
+	var wg sync.WaitGroup
+	type task struct{ lo, hi int }
+	tasks := make(chan task)
+	workers := opts.workers()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			counts := make([]int32, n)
+			touched := make([]int32, 0, 256)
+			for tk := range tasks {
+				for i := tk.lo; i < tk.hi; i++ {
+					// Accumulate |ts[i] ∩ ts[j]| for every j sharing an item.
+					for _, it := range ts[i] {
+						for _, j := range postings[it] {
+							if int(j) == i {
+								continue
+							}
+							if counts[j] == 0 {
+								touched = append(touched, j)
+							}
+							counts[j]++
+						}
+					}
+					var l []int32
+					if opts.IncludeSelf && len(ts[i]) > 0 {
+						l = append(l, int32(i))
+					}
+					for _, j := range touched {
+						if jaccardFast {
+							// Same expression as Jaccard, so boundary
+							// rounding matches the brute-force path bit
+							// for bit.
+							union := float64(len(ts[i]) + len(ts[j]) - int(counts[j]))
+							if float64(counts[j])/union >= theta {
+								l = append(l, j)
+							}
+						} else if sim(ts[i], ts[int(j)]) >= theta {
+							l = append(l, j)
+						}
+						counts[j] = 0
+					}
+					touched = touched[:0]
+					sort.Slice(l, func(a, b int) bool { return l[a] < l[b] })
+					nb.Lists[i] = l
+				}
+			}
+		}()
+	}
+	const chunk = 64
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		tasks <- task{lo, hi}
+	}
+	close(tasks)
+	wg.Wait()
+	return nb
+}

@@ -1,0 +1,162 @@
+package similarity
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/rockclust/rock/internal/dataset"
+)
+
+func TestComputeSmall(t *testing.T) {
+	ts := []dataset.Transaction{
+		tr(1, 2, 3), // 0
+		tr(1, 2, 4), // 1: sim with 0 = 0.5
+		tr(3, 4, 5), // 2: sim with 0 = 0.2, with 1 = 0.2
+		tr(9),       // 3: disjoint from all
+	}
+	nb := Compute(ts, 0.5, Options{})
+	want := [][]int32{{1}, {0}, {}, {}}
+	for i := range want {
+		if len(nb.Lists[i]) != len(want[i]) {
+			t.Fatalf("Lists[%d] = %v, want %v", i, nb.Lists[i], want[i])
+		}
+		for k := range want[i] {
+			if nb.Lists[i][k] != want[i][k] {
+				t.Fatalf("Lists[%d] = %v, want %v", i, nb.Lists[i], want[i])
+			}
+		}
+	}
+	if !nb.Contains(0, 1) || nb.Contains(0, 2) {
+		t.Fatal("Contains wrong")
+	}
+	avg, max, total := nb.Stats()
+	if total != 2 || max != 1 || avg != 0.5 {
+		t.Fatalf("Stats = %g,%d,%d", avg, max, total)
+	}
+}
+
+func TestIncludeSelf(t *testing.T) {
+	ts := []dataset.Transaction{tr(1), tr(2), tr()} // note: empty transaction
+	for _, f := range []func([]dataset.Transaction, float64, Options) *Neighbors{Compute, ComputeIndexed} {
+		nb := f(ts, 0.9, Options{IncludeSelf: true})
+		if !nb.Contains(0, 0) || !nb.Contains(1, 1) {
+			t.Fatal("self missing from neighbor list")
+		}
+		// sim(∅,∅) = 0 < θ: the empty transaction is not its own neighbor.
+		if nb.Contains(2, 2) {
+			t.Fatal("empty transaction must not be its own neighbor")
+		}
+	}
+}
+
+func TestThetaBoundaries(t *testing.T) {
+	ts := []dataset.Transaction{tr(1, 2), tr(1, 2), tr(3)}
+	// θ=1 keeps only identical non-empty transactions.
+	nb := Compute(ts, 1.0, Options{})
+	if !nb.Contains(0, 1) || nb.Contains(0, 2) || nb.Degree(2) != 0 {
+		t.Fatalf("theta=1 lists: %v", nb.Lists)
+	}
+	// θ=0 makes everything a neighbor of everything (brute force path).
+	nb0 := Compute(ts, 0, Options{})
+	for i := 0; i < 3; i++ {
+		if nb0.Degree(i) != 2 {
+			t.Fatalf("theta=0 degree(%d) = %d, want 2", i, nb0.Degree(i))
+		}
+	}
+	// ComputeIndexed falls back to brute force for θ ≤ 0.
+	nbi := ComputeIndexed(ts, 0, Options{})
+	if !neighborsEqual(nb0, nbi) {
+		t.Fatal("indexed fallback at theta=0 differs from brute force")
+	}
+}
+
+func neighborsEqual(a, b *Neighbors) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := range a.Lists {
+		if len(a.Lists[i]) != len(b.Lists[i]) {
+			return false
+		}
+		for k := range a.Lists[i] {
+			if a.Lists[i][k] != b.Lists[i][k] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// The inverted-index path must agree exactly with brute force across
+// random datasets, thresholds, worker counts, and self-inclusion.
+func TestIndexedMatchesBrute(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		n := 5 + r.Intn(60)
+		ts := make([]dataset.Transaction, n)
+		for i := range ts {
+			ts[i] = randTrans(r, 25, 10)
+		}
+		theta := []float64{0.1, 0.25, 0.5, 0.75, 1.0}[r.Intn(5)]
+		opts := Options{IncludeSelf: r.Intn(2) == 0, Workers: 1 + r.Intn(4)}
+		brute := Compute(ts, theta, opts)
+		indexed := ComputeIndexed(ts, theta, opts)
+		if !neighborsEqual(brute, indexed) {
+			t.Fatalf("trial %d (n=%d θ=%g opts=%+v): indexed differs from brute", trial, n, theta, opts)
+		}
+	}
+}
+
+func TestWorkerCountIrrelevant(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	ts := make([]dataset.Transaction, 80)
+	for i := range ts {
+		ts[i] = randTrans(r, 30, 8)
+	}
+	ref := Compute(ts, 0.4, Options{Workers: 1})
+	for _, w := range []int{2, 3, 8} {
+		if !neighborsEqual(ref, Compute(ts, 0.4, Options{Workers: w})) {
+			t.Fatalf("brute force with %d workers differs", w)
+		}
+		if !neighborsEqual(ref, ComputeIndexed(ts, 0.4, Options{Workers: w})) {
+			t.Fatalf("indexed with %d workers differs", w)
+		}
+	}
+}
+
+func TestNeighborSymmetry(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	ts := make([]dataset.Transaction, 100)
+	for i := range ts {
+		ts[i] = randTrans(r, 20, 9)
+	}
+	nb := ComputeIndexed(ts, 0.3, Options{})
+	for i := range ts {
+		for _, j := range nb.Lists[i] {
+			if !nb.Contains(int(j), int32(i)) {
+				t.Fatalf("asymmetric: %d has neighbor %d but not vice versa", i, j)
+			}
+		}
+	}
+}
+
+func TestCustomMeasureWithIndex(t *testing.T) {
+	// Overlap is intersection-based, so the index remains exact for θ > 0.
+	r := rand.New(rand.NewSource(5))
+	ts := make([]dataset.Transaction, 60)
+	for i := range ts {
+		ts[i] = randTrans(r, 18, 7)
+	}
+	opts := Options{Measure: Overlap}
+	if !neighborsEqual(Compute(ts, 0.6, opts), ComputeIndexed(ts, 0.6, opts)) {
+		t.Fatal("indexed overlap differs from brute force")
+	}
+}
+
+func TestNeighborsStatsEmpty(t *testing.T) {
+	var nb Neighbors
+	avg, max, total := nb.Stats()
+	if avg != 0 || max != 0 || total != 0 {
+		t.Fatal("Stats on empty neighbors should be zeros")
+	}
+}

@@ -1,0 +1,31 @@
+package synth
+
+// interleave emits group indices so that each group's occurrences are
+// spread evenly across the output (largest-remaining-fraction order), so
+// prefix samples of a generated dataset remain representative of every
+// group.
+func interleave(sizes []int) []int {
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	acc := make([]int, len(sizes))
+	out := make([]int, 0, total)
+	remaining := append([]int(nil), sizes...)
+	for len(out) < total {
+		best, bestVal := -1, 0
+		for g := range sizes {
+			if remaining[g] == 0 {
+				continue
+			}
+			acc[g] += sizes[g]
+			if best == -1 || acc[g] > bestVal {
+				best, bestVal = g, acc[g]
+			}
+		}
+		acc[best] -= total
+		remaining[best]--
+		out = append(out, best)
+	}
+	return out
+}

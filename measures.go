@@ -1,0 +1,46 @@
+package rock
+
+import (
+	"github.com/rockclust/rock/internal/metrics"
+	"github.com/rockclust/rock/internal/similarity"
+)
+
+// Measure computes a similarity in [0,1] between two transactions.
+type Measure = similarity.Measure
+
+// Jaccard returns |a ∩ b| / |a ∪ b| — the paper's similarity for
+// market-basket and categorical data.
+func Jaccard(a, b Transaction) float64 { return similarity.Jaccard(a, b) }
+
+// Dice returns 2|a ∩ b| / (|a| + |b|).
+func Dice(a, b Transaction) float64 { return similarity.Dice(a, b) }
+
+// Cosine returns |a ∩ b| / √(|a|·|b|).
+func Cosine(a, b Transaction) float64 { return similarity.Cosine(a, b) }
+
+// Overlap returns |a ∩ b| / min(|a|, |b|).
+func Overlap(a, b Transaction) float64 { return similarity.Overlap(a, b) }
+
+// AttributeMeasure returns the fraction of nattrs categorical attributes
+// on which two encoded records agree.
+func AttributeMeasure(nattrs int) Measure { return similarity.Attribute(nattrs) }
+
+// Eval summarizes the agreement between a clustering and ground-truth
+// labels: the literature's clustering accuracy r, error e and absolute
+// error ace, plus ARI and NMI.
+type Eval = metrics.Eval
+
+// Evaluate computes all metrics for a cluster assignment (-1 marks
+// outliers) against parallel ground-truth labels.
+func Evaluate(assign []int, labels []string) Eval { return metrics.Evaluate(assign, labels) }
+
+// ContingencyTable builds the cluster × class count matrix (outliers
+// become singleton rows).
+func ContingencyTable(assign []int, labels []string) (classes []string, counts [][]int) {
+	return metrics.ContingencyTable(assign, labels)
+}
+
+// ClusterEntropy returns the weighted mean class entropy over clusters.
+func ClusterEntropy(assign []int, labels []string) float64 {
+	return metrics.ClusterEntropy(assign, labels)
+}

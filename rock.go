@@ -1,0 +1,114 @@
+package rock
+
+import (
+	"io"
+
+	"github.com/rockclust/rock/internal/core"
+	"github.com/rockclust/rock/internal/dataset"
+)
+
+// Core clustering types, re-exported from the engine.
+type (
+	// Config holds every ROCK parameter; Theta and K are mandatory.
+	Config = core.Config
+	// Result is the outcome of a clustering run: assignments, clusters,
+	// outliers and run statistics.
+	Result = core.Result
+	// Stats reports the quantities of the paper's analysis (neighbor
+	// densities, link pairs, merges, prunings).
+	Stats = core.Stats
+	// FTheta maps θ to the criterion exponent f(θ).
+	FTheta = core.FTheta
+	// GoodnessFunc scores candidate merges.
+	GoodnessFunc = core.GoodnessFunc
+	// QRockConfig parameterizes the QROCK variant.
+	QRockConfig = core.QRockConfig
+	// MergeStep is one dendrogram entry recorded with Config.TraceMerges.
+	MergeStep = core.MergeStep
+)
+
+// CutTrace replays a merge trace (Result.MergeTrace over
+// len(Result.TracePoints) singletons) and stops at k clusters, returning
+// members by trace singleton index — clusterings at every granularity
+// from a single run.
+func CutTrace(n int, steps []MergeStep, k int) ([][]int, error) {
+	return core.CutTrace(n, steps, k)
+}
+
+// Cluster runs the full ROCK pipeline over the transactions: optional
+// Chernoff-scale sampling, θ-neighbor computation, link computation,
+// outlier pruning, heap-driven agglomeration and — when sampling — the
+// labeling pass for the remaining points.
+func Cluster(ts []Transaction, cfg Config) (*Result, error) {
+	return core.Cluster(ts, cfg)
+}
+
+// ClusterDataset is a convenience wrapper over Cluster for a Dataset.
+func ClusterDataset(d *Dataset, cfg Config) (*Result, error) {
+	return core.Cluster(d.Trans, cfg)
+}
+
+// QRock clusters by connected components of the θ-neighbor graph — the
+// QROCK simplification of ROCK for workloads where the component
+// structure is the clustering.
+func QRock(ts []Transaction, cfg QRockConfig) (*Result, error) {
+	return core.QRock(ts, cfg)
+}
+
+// ChunkedConfig parameterizes ChunkedCluster.
+type ChunkedConfig = core.ChunkedConfig
+
+// ChunkedCluster adapts ROCK to datasets that cannot be clustered
+// wholesale: cluster each chunk independently, keep representative points
+// per chunk cluster, cluster the representatives down to the final K, and
+// let every point inherit its chunk cluster's final assignment. Memory is
+// bounded by chunk size plus the representative set.
+func ChunkedCluster(ts []Transaction, cfg ChunkedConfig) (*Result, error) {
+	return core.ChunkedCluster(ts, cfg)
+}
+
+// WriteResult serializes a clustering result as versioned JSON.
+func WriteResult(w io.Writer, res *Result) error { return core.WriteResult(w, res) }
+
+// ReadResult deserializes a result written by WriteResult.
+func ReadResult(r io.Reader) (*Result, error) { return core.ReadResult(r) }
+
+// MarketBasketF is the paper's exponent choice f(θ) = (1−θ)/(1+θ).
+func MarketBasketF(theta float64) float64 { return core.MarketBasketF(theta) }
+
+// ConstantF returns an exponent function that ignores θ.
+func ConstantF(c float64) FTheta { return core.ConstantF(c) }
+
+// RockGoodness is the paper's goodness measure: cross links normalized by
+// their expectation under the f(θ) neighbor model.
+func RockGoodness(links, ni, nj int, f float64) float64 {
+	return core.RockGoodness(links, ni, nj, f)
+}
+
+// LinkCountGoodness merges by raw cross-link count (ablation).
+func LinkCountGoodness(links, ni, nj int, f float64) float64 {
+	return core.LinkCountGoodness(links, ni, nj, f)
+}
+
+// AverageLinkGoodness merges by links per cross pair (ablation).
+func AverageLinkGoodness(links, ni, nj int, f float64) float64 {
+	return core.AverageLinkGoodness(links, ni, nj, f)
+}
+
+// Criterion evaluates the paper's criterion function E_l over a
+// clustering given a pairwise link oracle.
+func Criterion(clusters [][]int, links func(i, j int) int, f float64) float64 {
+	return core.Criterion(clusters, links, f)
+}
+
+// ChernoffSampleSize returns the sample size guaranteeing, with
+// probability 1−delta, at least frac·clusterSize points of a cluster in a
+// uniform sample from n points — the paper's bound for sizing the
+// clustering sample.
+func ChernoffSampleSize(n, clusterSize int, frac, delta float64) int {
+	return core.ChernoffSampleSize(n, clusterSize, frac, delta)
+}
+
+// ensure the facade types stay aliases of the dataset model (compile-time
+// check that ClusterDataset accepts what ReadCSV produces).
+var _ = func(d *dataset.Dataset) []Transaction { return d.Trans }
