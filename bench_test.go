@@ -7,6 +7,7 @@ package rock_test
 
 import (
 	"io"
+	"runtime"
 	"strconv"
 	"testing"
 
@@ -91,12 +92,35 @@ func BenchmarkNeighborsLSH(b *testing.B) {
 	}
 }
 
-func BenchmarkLinks(b *testing.B) {
-	d := benchBasket(1000)
-	nb := similarity.ComputeIndexed(d.Trans, 0.6, similarity.Options{})
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		linkage.FromNeighbors(nb)
+func BenchmarkLinksSerial(b *testing.B) {
+	for _, n := range []int{1000, 2000} {
+		d := benchBasket(n)
+		nb := similarity.ComputeIndexed(d.Trans, 0.6, similarity.Options{})
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				linkage.FromNeighbors(nb)
+			}
+		})
+	}
+}
+
+func BenchmarkLinksParallel(b *testing.B) {
+	workerCounts := []int{1, 2, 4}
+	if g := runtime.GOMAXPROCS(0); g != 1 && g != 2 && g != 4 {
+		workerCounts = append(workerCounts, g)
+	}
+	for _, n := range []int{1000, 2000} {
+		d := benchBasket(n)
+		nb := similarity.ComputeIndexed(d.Trans, 0.6, similarity.Options{})
+		for _, w := range workerCounts {
+			b.Run(sizeName(n)+"/workers="+strconv.Itoa(w), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					linkage.FromNeighborsCSR(nb, w)
+				}
+			})
+		}
 	}
 }
 

@@ -6,6 +6,7 @@
 //	rockbench              # everything, paper-scale
 //	rockbench -quick E6    # shrunken timing sweep
 //	rockbench -list
+//	rockbench -links       # serial-vs-parallel link sweep → BENCH_links.json
 package main
 
 import (
@@ -22,6 +23,7 @@ func main() {
 		seed  = flag.Int64("seed", 0, "base seed for all generators")
 		list  = flag.Bool("list", false, "list experiment ids and exit")
 		out   = flag.String("out", "", "write reports to this file instead of stdout")
+		links = flag.Bool("links", false, "run the serial-vs-parallel link builder sweep and write BENCH_links.json (or -out)")
 	)
 	flag.Parse()
 
@@ -29,6 +31,25 @@ func main() {
 		for _, id := range expt.IDs() {
 			fmt.Printf("%-4s %s\n", id, expt.Title(id))
 		}
+		return
+	}
+
+	if *links {
+		path := *out
+		if path == "" {
+			path = "BENCH_links.json"
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rockbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := expt.BenchLinks(f, expt.Options{Quick: *quick, Seed: *seed}); err != nil {
+			fmt.Fprintln(os.Stderr, "rockbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "rockbench: wrote", path)
 		return
 	}
 

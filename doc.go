@@ -28,6 +28,19 @@
 // uniform sample is clustered and the remaining points are assigned in a
 // labeling pass, exactly as the paper prescribes.
 //
+// # Performance
+//
+// The two hot phases both parallelize under Config.Workers (0 means
+// GOMAXPROCS): θ-neighbor computation shards rows across goroutines, and
+// link computation — the paper's O(Σ mᵢ²) bottleneck — runs as sharded
+// row-wise pair counting that assembles a compressed-sparse-row (CSR)
+// link table directly, with no intermediate hash maps. The agglomeration
+// engine consumes that CSR form natively. Small inputs automatically take
+// the serial reference path (Config.LinkSerialBelow tunes the crossover);
+// results are byte-identical for every worker count and both link paths.
+// `cmd/rockbench -links` records the serial-vs-parallel sweep in
+// BENCH_links.json.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // reproduction of every table and figure in the paper's evaluation.
 package rock

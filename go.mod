@@ -1,0 +1,3 @@
+module github.com/rockclust/rock
+
+go 1.24

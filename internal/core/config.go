@@ -66,8 +66,16 @@ type Config struct {
 	// MaxLabelPoints caps |L_i| per cluster; default 50.
 	MaxLabelPoints int
 
-	// Workers bounds parallelism in neighbor computation; 0 = GOMAXPROCS.
+	// Workers bounds parallelism in the neighbor and link phases; 0 =
+	// GOMAXPROCS. Results are byte-identical for every worker count.
 	Workers int
+	// LinkSerialBelow overrides the link-phase crossover: samples with
+	// fewer kept points than this use the serial map-based link builder,
+	// larger ones the sharded parallel CSR builder. 0 picks the built-in
+	// crossover; negative forces the parallel builder at every size. Both
+	// builders produce bit-identical tables — this knob only trades
+	// constant factors.
+	LinkSerialBelow int
 
 	// TraceMerges records every merge step into Result.MergeTrace,
 	// turning the run into a dendrogram that CutTrace can cut at any

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"github.com/rockclust/rock/internal/dataset"
+)
+
+// Cluster output must be byte-identical for a fixed seed regardless of
+// the worker count: parallelism in the neighbor and link phases must not
+// leak into results. Checked both structurally and on serialized bytes.
+func TestClusterDeterministicAcrossWorkers(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	configs := []Config{
+		{Theta: 0.5, K: 4, Seed: 11, TraceMerges: true},
+		{Theta: 0.6, K: 3, Seed: 7, SampleSize: 150, MinNeighbors: 2, WeedAt: 0.3},
+		{Theta: 0.3, K: 5, Seed: 23, LabelOutliers: true},
+		// LinkSerialBelow: -1 forces the sharded parallel CSR link
+		// builder even at this test's n, so link-phase parallelism is
+		// exercised, not just the neighbor phase.
+		{Theta: 0.5, K: 4, Seed: 13, LinkSerialBelow: -1, TraceMerges: true},
+	}
+	for ci, base := range configs {
+		ts := randomTransactionsCore(r, 220, 7, 25)
+		workerCounts := []int{1, 2, runtime.GOMAXPROCS(0)}
+
+		var ref *Result
+		var refBytes []byte
+		for _, w := range workerCounts {
+			cfg := base
+			cfg.Workers = w
+			res, err := Cluster(ts, cfg)
+			if err != nil {
+				t.Fatalf("config %d workers %d: %v", ci, w, err)
+			}
+			var buf bytes.Buffer
+			if err := WriteResult(&buf, res); err != nil {
+				t.Fatalf("config %d workers %d: serialize: %v", ci, w, err)
+			}
+			if ref == nil {
+				ref, refBytes = res, buf.Bytes()
+				continue
+			}
+			if !reflect.DeepEqual(res.Assign, ref.Assign) ||
+				!reflect.DeepEqual(res.Clusters, ref.Clusters) ||
+				!reflect.DeepEqual(res.Outliers, ref.Outliers) ||
+				!reflect.DeepEqual(res.Stats, ref.Stats) ||
+				!reflect.DeepEqual(res.MergeTrace, ref.MergeTrace) {
+				t.Fatalf("config %d: workers=%d output differs structurally from workers=%d",
+					ci, w, workerCounts[0])
+			}
+			if !bytes.Equal(buf.Bytes(), refBytes) {
+				t.Fatalf("config %d: workers=%d serialized bytes differ from workers=%d",
+					ci, w, workerCounts[0])
+			}
+		}
+	}
+}
+
+// randomTransactionsCore mirrors the linkage test helper locally.
+func randomTransactionsCore(r *rand.Rand, n, maxItems, vocab int) []dataset.Transaction {
+	ts := make([]dataset.Transaction, n)
+	for i := range ts {
+		items := make([]dataset.Item, 1+r.Intn(maxItems))
+		for k := range items {
+			items[k] = dataset.Item(r.Intn(vocab))
+		}
+		ts[i] = dataset.NewTransaction(items...)
+	}
+	return ts
+}
+
+// CriterionCSR must agree exactly with the pairwise-probing Criterion on
+// the same table.
+func TestCriterionCSRMatchesCriterion(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 25; trial++ {
+		n := 5 + r.Intn(60)
+		lt := randomLinkTable(r, n)
+		// Random partition of a random subset of points into clusters.
+		k := 1 + r.Intn(5)
+		clusters := make([][]int, k)
+		for p := 0; p < n; p++ {
+			if r.Intn(4) == 0 {
+				continue // leave some points unclustered, as after pruning
+			}
+			ci := r.Intn(k)
+			clusters[ci] = append(clusters[ci], p)
+		}
+		var nonEmpty [][]int
+		for _, c := range clusters {
+			if len(c) > 0 {
+				nonEmpty = append(nonEmpty, c)
+			}
+		}
+		f := 0.1 + r.Float64()
+		got := CriterionCSR(nonEmpty, lt, f)
+		want := Criterion(nonEmpty, lt.Get, f)
+		if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("trial %d: CriterionCSR=%g Criterion=%g", trial, got, want)
+		}
+	}
+}

@@ -29,17 +29,19 @@ type engineResult struct {
 }
 
 // agglomerate runs ROCK's clustering phase: starting from n singleton
-// clusters whose pairwise links are given by lt, repeatedly merge the pair
-// with maximal goodness until k clusters remain or no two clusters share a
-// link. A global heap holds, for every cluster, the goodness of its best
-// local pair; each merge rebuilds the merged cluster's link map as the sum
-// of its parents' and updates both heaps of every affected cluster —
-// exactly the paper's algorithm, O(n² log n) worst case.
+// clusters whose pairwise links are given by the CSR table lt, repeatedly
+// merge the pair with maximal goodness until k clusters remain or no two
+// clusters share a link. A global heap holds, for every cluster, the
+// goodness of its best local pair; each merge rebuilds the merged
+// cluster's link map as the sum of its parents' and updates both heaps of
+// every affected cluster — exactly the paper's algorithm, O(n² log n)
+// worst case. Seeding the singleton heaps is a cache-friendly scan of
+// each CSR row rather than a map iteration.
 //
 // If weedTrigger > 0, the first time the number of active clusters falls
 // to weedTrigger, clusters of size ≤ weedMaxSize are discarded as outliers
 // (the paper's device for isolating stray points that merge with nothing).
-func agglomerate(n int, lt *linkage.Table, k int, good GoodnessFunc, f float64, weedTrigger, weedMaxSize int, trace bool) engineResult {
+func agglomerate(n int, lt *linkage.Compact, k int, good GoodnessFunc, f float64, weedTrigger, weedMaxSize int, trace bool) engineResult {
 	clusters := make(map[int]*clus, n)
 	global := pqueue.New()
 	for i := 0; i < n; i++ {
@@ -52,11 +54,10 @@ func agglomerate(n int, lt *linkage.Table, k int, good GoodnessFunc, f float64, 
 	}
 	for i := 0; i < n; i++ {
 		c := clusters[i]
-		for j32, cnt := range lt.Adj[i] {
-			j := int(j32)
-			c.links[j] = int(cnt)
-			c.heap.Set(j, good(int(cnt), 1, 1, f))
-		}
+		lt.Row(i, func(j, cnt int) {
+			c.links[j] = cnt
+			c.heap.Set(j, good(cnt, 1, 1, f))
+		})
 		updateGlobal(global, i, c)
 	}
 

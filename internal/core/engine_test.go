@@ -9,8 +9,9 @@ import (
 	"github.com/rockclust/rock/internal/similarity"
 )
 
-// tableFromPairs builds a symmetric link table from explicit pair counts.
-func tableFromPairs(n int, pairs map[[2]int]int) *linkage.Table {
+// tableFromPairs builds a symmetric CSR link table from explicit pair
+// counts.
+func tableFromPairs(n int, pairs map[[2]int]int) *linkage.Compact {
 	t := &linkage.Table{Adj: make([]map[int32]int32, n)}
 	for i := 0; i < n; i++ {
 		t.Adj[i] = make(map[int32]int32)
@@ -19,7 +20,7 @@ func tableFromPairs(n int, pairs map[[2]int]int) *linkage.Table {
 		t.Adj[p[0]][int32(p[1])] = int32(c)
 		t.Adj[p[1]][int32(p[0])] = int32(c)
 	}
-	return t
+	return linkage.CompactFrom(t)
 }
 
 func TestAgglomerateTwoCliques(t *testing.T) {
@@ -125,7 +126,7 @@ func TestPaperExampleSeparation(t *testing.T) {
 		tr(1, 2, 6), tr(1, 2, 7), tr(1, 6, 7), tr(2, 6, 7),
 	}
 	nb := similarity.Compute(ts, 0.5, similarity.Options{})
-	lt := linkage.FromNeighbors(nb)
+	lt := linkage.Build(nb, linkage.Options{})
 	res := agglomerate(len(ts), lt, 2, RockGoodness, MarketBasketF(0.5), 0, 0, false)
 	if len(res.clusters) != 2 {
 		t.Fatalf("clusters = %v", res.clusters)
@@ -154,13 +155,13 @@ func TestPaperExampleSeparation(t *testing.T) {
 	// instance absorbing the border transactions is genuinely E_l-better.
 	truth := [][]int{{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, {10, 11, 12, 13}}
 	f := MarketBasketF(0.5)
-	if got, want := Criterion(res.clusters, lt.Get, f), Criterion(truth, lt.Get, f); got < want-1e-9 {
+	if got, want := CriterionCSR(res.clusters, lt, f), CriterionCSR(truth, lt, f); got < want-1e-9 {
 		t.Fatalf("greedy criterion %g below ground truth %g", got, want)
 	}
 }
 
 func TestAgglomerateEmptyAndSingle(t *testing.T) {
-	res := agglomerate(0, &linkage.Table{}, 1, RockGoodness, 0.3, 0, 0, false)
+	res := agglomerate(0, linkage.CompactFrom(&linkage.Table{}), 1, RockGoodness, 0.3, 0, 0, false)
 	if len(res.clusters) != 0 {
 		t.Fatal("empty input should give no clusters")
 	}

@@ -10,8 +10,8 @@ import (
 	"github.com/rockclust/rock/internal/linkage"
 )
 
-// randomLinkTable builds a random symmetric link table over n points.
-func randomLinkTable(r *rand.Rand, n int) *linkage.Table {
+// randomLinkTable builds a random symmetric CSR link table over n points.
+func randomLinkTable(r *rand.Rand, n int) *linkage.Compact {
 	t := &linkage.Table{Adj: make([]map[int32]int32, n)}
 	for i := 0; i < n; i++ {
 		t.Adj[i] = make(map[int32]int32)
@@ -26,7 +26,7 @@ func randomLinkTable(r *rand.Rand, n int) *linkage.Table {
 		t.Adj[i][int32(j)] = c
 		t.Adj[j][int32(i)] = c
 	}
-	return t
+	return linkage.CompactFrom(t)
 }
 
 // Engine invariants over random link structures: the output partitions
@@ -35,7 +35,7 @@ func randomLinkTable(r *rand.Rand, n int) *linkage.Table {
 func TestAgglomerateInvariantsQuick(t *testing.T) {
 	type inputs struct {
 		n, k, weedTrigger, weedMaxSize int
-		table                          *linkage.Table
+		table                          *linkage.Compact
 	}
 	cfg := &quick.Config{
 		MaxCount: 120,

@@ -130,8 +130,11 @@ func Cluster(ts []dataset.Transaction, cfg Config) (*Result, error) {
 	}
 	keptNb := filterNeighbors(nb, kept)
 
-	// Phase 4: links over the kept sample.
-	lt := linkage.FromNeighbors(keptNb)
+	// Phase 4: links over the kept sample, built directly in CSR form.
+	// The sharded builder splits the O(Σ m_i²) pair counting across
+	// cfg.Workers goroutines; small samples take the serial reference
+	// path. Either way the table is bit-identical and deterministic.
+	lt := linkage.Build(keptNb, linkage.Options{Workers: cfg.Workers, SerialBelow: cfg.LinkSerialBelow})
 	res.Stats.LinkPairs = lt.Pairs()
 
 	// Phase 5: agglomerate.

@@ -39,7 +39,7 @@ func motivatingTransactions() ([]dataset.Transaction, []string) {
 func runE8(opts Options) (*Report, error) {
 	ts, labels := motivatingTransactions()
 	nb := similarity.Compute(ts, 0.5, similarity.Options{})
-	lt := linkage.FromNeighbors(nb)
+	lt := linkage.Build(nb, linkage.Options{})
 
 	simTable := FormatTable(
 		[]string{"pair", "groups", "jaccard", "links"},

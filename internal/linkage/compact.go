@@ -1,13 +1,17 @@
 package linkage
 
-import "sort"
+import (
+	"slices"
+	"sort"
+)
 
-// Compact is a read-only CSR (compressed sparse row) view of a link
-// table: one sorted adjacency array per point plus parallel counts.
-// It holds the same information as Table in a fraction of the memory and
-// with cache-friendly iteration — the representation of choice once the
-// agglomeration is done and the links are only queried (criterion
-// evaluation, diagnostics, serialization).
+// Compact is a read-only CSR (compressed sparse row) link table: one
+// sorted adjacency array per point plus parallel counts. It holds the
+// same information as Table in a fraction of the memory and with
+// cache-friendly iteration, and is the representation the agglomeration
+// engine consumes — built directly by the sharded parallel builder
+// (FromNeighborsCSR) or converted from a map-based Table (CompactFrom);
+// Build picks between the two by input size.
 type Compact struct {
 	rowStart []int32 // len n+1; row i occupies [rowStart[i], rowStart[i+1])
 	cols     []int32
@@ -66,6 +70,14 @@ func (c *Compact) Degree(i int) int { return int(c.rowStart[i+1] - c.rowStart[i]
 
 // Pairs reports the number of undirected positive-link pairs.
 func (c *Compact) Pairs() int { return len(c.cols) / 2 }
+
+// Equal reports whether two CSR tables hold identical structure and
+// counts.
+func (c *Compact) Equal(d *Compact) bool {
+	return slices.Equal(c.rowStart, d.rowStart) &&
+		slices.Equal(c.cols, d.cols) &&
+		slices.Equal(c.counts, d.counts)
+}
 
 // Row iterates row i in ascending column order.
 func (c *Compact) Row(i int, fn func(j, count int)) {
