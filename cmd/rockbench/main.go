@@ -7,11 +7,13 @@
 //	rockbench -quick E6    # shrunken timing sweep
 //	rockbench -list
 //	rockbench -links       # serial-vs-parallel link sweep → BENCH_links.json
+//	rockbench -merge       # map-vs-arena agglomeration sweep → BENCH_merge.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"github.com/rockclust/rock/internal/expt"
@@ -24,6 +26,7 @@ func main() {
 		list  = flag.Bool("list", false, "list experiment ids and exit")
 		out   = flag.String("out", "", "write reports to this file instead of stdout")
 		links = flag.Bool("links", false, "run the serial-vs-parallel link builder sweep and write BENCH_links.json (or -out)")
+		merge = flag.Bool("merge", false, "run the map-vs-arena agglomeration engine sweep and write BENCH_merge.json (or -out)")
 	)
 	flag.Parse()
 
@@ -35,21 +38,11 @@ func main() {
 	}
 
 	if *links {
-		path := *out
-		if path == "" {
-			path = "BENCH_links.json"
-		}
-		f, err := os.Create(path)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "rockbench:", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		if err := expt.BenchLinks(f, expt.Options{Quick: *quick, Seed: *seed}); err != nil {
-			fmt.Fprintln(os.Stderr, "rockbench:", err)
-			os.Exit(1)
-		}
-		fmt.Fprintln(os.Stderr, "rockbench: wrote", path)
+		runSweep(*out, "BENCH_links.json", *quick, *seed, expt.BenchLinks)
+		return
+	}
+	if *merge {
+		runSweep(*out, "BENCH_merge.json", *quick, *seed, expt.BenchMerge)
 		return
 	}
 
@@ -75,4 +68,23 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runSweep writes one JSON perf sweep to out (or the default path).
+func runSweep(out, def string, quick bool, seed int64, sweep func(w io.Writer, opts expt.Options) error) {
+	path := out
+	if path == "" {
+		path = def
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rockbench:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := sweep(f, expt.Options{Quick: quick, Seed: seed}); err != nil {
+		fmt.Fprintln(os.Stderr, "rockbench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "rockbench: wrote", path)
 }

@@ -1,21 +1,33 @@
 package core
 
 import (
+	"math"
 	"sort"
 
 	"github.com/rockclust/rock/internal/linkage"
 	"github.com/rockclust/rock/internal/pqueue"
 )
 
-// clus is one active cluster in the agglomeration: its members (local
-// point indices), its cross-link counts to every other linked cluster, and
-// a local max-heap of those clusters ordered by merge goodness — the
-// paper's q[i].
-type clus struct {
-	size    int
-	members []int32
-	links   map[int]int
-	heap    *pqueue.Heap
+// The agglomeration engine keeps its clusters in a flat arena: parallel
+// arrays indexed by slot instead of a map of heap-allocated structs. A
+// merge reuses the popped cluster's slot for the product, member lists
+// are an intrusive linked list over point indices, and per-cluster links
+// are sorted []linkEntry rows merged with a two-pointer pass into pooled
+// buffers — the hot loop neither allocates nor touches a hash map. The
+// per-cluster heaps of the reference engine collapse into one cached
+// best-partner per slot plus a single lazy indexed heap (pqueue.Lazy)
+// over those bests. Output is byte-identical to the reference
+// (engine_reference.go); the oracle test enforces it configuration by
+// configuration.
+
+// linkEntry is one cross-link in a cluster's adjacency row: the arena
+// slot of the linked cluster and the aggregated cross-link count. Rows
+// stay sorted by slot, so merging two rows is a two-pointer pass and
+// point lookups are binary searches. int32 counts cap one cluster pair at
+// ~2.1B aggregated links.
+type linkEntry struct {
+	to  int32
+	cnt int32
 }
 
 // engineResult is the raw outcome of agglomeration over local indices
@@ -28,38 +40,46 @@ type engineResult struct {
 	trace        []MergeStep // populated when tracing is requested
 }
 
+// arena is the flat agglomeration state. Slots [0, n) are live cluster
+// storage; a merged cluster reuses one parent's slot, so `alive` plus the
+// logical `id` array replace the reference engine's map[int]*clus.
+// Logical ids follow the reference convention — singletons are 0..n-1 and
+// each merge allocates the next id — because the paper's tie-breaks (and
+// the trace) are defined over those ids, not over storage slots.
+type arena struct {
+	good GoodnessFunc
+	f    float64
+
+	alive []bool
+	id    []int32 // slot -> logical cluster id
+	size  []int32
+	// Intrusive member lists: head/tail index points, next chains them.
+	// Merging is two pointer writes; no member slice is ever copied.
+	head, tail, next []int32
+
+	rows [][]linkEntry // slot -> adjacency row, sorted by slot
+
+	// Cached best merge partner per slot — the top of the reference
+	// engine's per-cluster heap — and the lazy global heap over them.
+	bestTo []int32 // slot of best partner, -1 when unlinked
+	bestG  []float64
+	heap   *pqueue.Lazy
+
+	pool [][]linkEntry // retired row buffers, reused for merged rows
+}
+
 // agglomerate runs ROCK's clustering phase: starting from n singleton
 // clusters whose pairwise links are given by the CSR table lt, repeatedly
 // merge the pair with maximal goodness until k clusters remain or no two
-// clusters share a link. A global heap holds, for every cluster, the
-// goodness of its best local pair; each merge rebuilds the merged
-// cluster's link map as the sum of its parents' and updates both heaps of
-// every affected cluster — exactly the paper's algorithm, O(n² log n)
-// worst case. Seeding the singleton heaps is a cache-friendly scan of
-// each CSR row rather than a map iteration.
+// clusters share a link — the paper's O(n² log n) algorithm on the arena
+// representation above. Each merge touches only the merged row and the
+// rows of its neighbors.
 //
 // If weedTrigger > 0, the first time the number of active clusters falls
 // to weedTrigger, clusters of size ≤ weedMaxSize are discarded as outliers
 // (the paper's device for isolating stray points that merge with nothing).
 func agglomerate(n int, lt *linkage.Compact, k int, good GoodnessFunc, f float64, weedTrigger, weedMaxSize int, trace bool) engineResult {
-	clusters := make(map[int]*clus, n)
-	global := pqueue.New()
-	for i := 0; i < n; i++ {
-		clusters[i] = &clus{
-			size:    1,
-			members: []int32{int32(i)},
-			links:   make(map[int]int, lt.Degree(i)),
-			heap:    pqueue.New(),
-		}
-	}
-	for i := 0; i < n; i++ {
-		c := clusters[i]
-		lt.Row(i, func(j, cnt int) {
-			c.links[j] = cnt
-			c.heap.Set(j, good(cnt, 1, 1, f))
-		})
-		updateGlobal(global, i, c)
-	}
+	a := newArena(n, lt, good, f)
 
 	var res engineResult
 	nextID := n
@@ -67,124 +87,337 @@ func agglomerate(n int, lt *linkage.Compact, k int, good GoodnessFunc, f float64
 	weedDone := weedTrigger <= 0
 
 	for active > k {
-		u, g, ok := global.Pop()
+		ui, g, ok := a.heap.Pop()
 		if !ok || g <= 0 {
 			res.stoppedEarly = true
 			break
 		}
-		cu := clusters[u]
-		v, _, ok := cu.heap.Peek()
-		if !ok {
-			continue // defensively skip clusters that lost all links
-		}
-		cv := clusters[v]
-		global.Remove(v)
-
-		w := nextID
+		// A popped entry is never stale — pqueue.Lazy discards superseded
+		// entries internally — so the best partner is always present,
+		// unlike the reference engine's defensive empty-heap skip.
+		u := int32(ui)
+		v := a.bestTo[u]
+		w := int32(nextID)
 		nextID++
 		if trace {
 			res.trace = append(res.trace, MergeStep{
-				A: u, B: v, Into: w,
-				Goodness: g, Links: cu.links[v],
-				SizeA: cu.size, SizeB: cv.size,
+				A: int(a.id[u]), B: int(a.id[v]), Into: int(w),
+				Goodness: g, Links: int(a.rowCount(u, v)),
+				SizeA: int(a.size[u]), SizeB: int(a.size[v]),
 				Remaining: active - 1,
 			})
 		}
-		cw := &clus{
-			size:    cu.size + cv.size,
-			members: append(cu.members, cv.members...),
-			links:   make(map[int]int, len(cu.links)+len(cv.links)),
-			heap:    pqueue.New(),
-		}
-		for x, cnt := range cu.links {
-			if x != v {
-				cw.links[x] = cnt
-			}
-		}
-		for x, cnt := range cv.links {
-			if x != u {
-				cw.links[x] += cnt
-			}
-		}
-		delete(clusters, u)
-		delete(clusters, v)
-		clusters[w] = cw
-
-		for x, cnt := range cw.links {
-			cx := clusters[x]
-			delete(cx.links, u)
-			delete(cx.links, v)
-			cx.links[w] = cnt
-			cx.heap.Remove(u)
-			cx.heap.Remove(v)
-			gx := good(cnt, cw.size, cx.size, f)
-			cx.heap.Set(w, gx)
-			cw.heap.Set(x, gx)
-			updateGlobal(global, x, cx)
-		}
-		updateGlobal(global, w, cw)
+		a.merge(u, v, w)
 
 		active--
 		res.merges++
 
 		if !weedDone && active <= weedTrigger {
 			weedDone = true
-			active -= weed(clusters, global, weedMaxSize, &res)
+			active -= a.weed(weedMaxSize, &res)
 		}
 	}
 
-	// Collect surviving clusters deterministically: members ascending,
-	// clusters ordered by their smallest member.
-	for _, c := range clusters {
-		m := make([]int, len(c.members))
-		for i, v := range c.members {
-			m[i] = int(v)
+	a.collect(&res)
+	return res
+}
+
+// newArena seeds the arena from the CSR link table: one slot per point,
+// rows materialized into a single backing array, and the lazy heap bulk-
+// initialized in O(n) from each slot's best partner.
+func newArena(n int, lt *linkage.Compact, good GoodnessFunc, f float64) *arena {
+	a := &arena{
+		good:   good,
+		f:      f,
+		alive:  make([]bool, n),
+		id:     make([]int32, n),
+		size:   make([]int32, n),
+		head:   make([]int32, n),
+		tail:   make([]int32, n),
+		next:   make([]int32, n),
+		rows:   make([][]linkEntry, n),
+		bestTo: make([]int32, n),
+		bestG:  make([]float64, n),
+		heap:   pqueue.NewLazy(n),
+	}
+	backing := make([]linkEntry, 0, lt.Entries())
+	for i := 0; i < n; i++ {
+		a.alive[i] = true
+		a.id[i] = int32(i)
+		a.size[i] = 1
+		a.head[i], a.tail[i], a.next[i] = int32(i), int32(i), -1
+		start := len(backing)
+		bt, bg := int32(-1), 0.0
+		lt.Row(i, func(j, cnt int) {
+			backing = append(backing, linkEntry{to: int32(j), cnt: int32(cnt)})
+			// Ascending j, strict >: ties keep the smaller partner id,
+			// matching the reference heap's tie-break.
+			if g := good(cnt, 1, 1, f); bt < 0 || g > bg {
+				bt, bg = int32(j), g
+			}
+		})
+		// Capacity-clamp each row to its own region so a stray append can
+		// never stomp a neighbor's row.
+		a.rows[i] = backing[start:len(backing):len(backing)]
+		a.bestTo[i], a.bestG[i] = bt, bg
+		if bt >= 0 {
+			a.heap.BulkSet(i, int32(i), bg)
+		}
+	}
+	a.heap.Fix()
+	return a
+}
+
+// merge folds cluster v into cluster u's slot as the new cluster with
+// logical id w: rows are two-pointer merged into a pooled buffer, every
+// neighbor's row is patched in place, and affected cached bests are
+// repaired.
+func (a *arena) merge(u, v, w int32) {
+	a.heap.Invalidate(int(v)) // u's entry was consumed by the pop
+
+	merged := mergeRows(a.rows[u], a.rows[v], u, v, a.takeBuf())
+	a.pool = append(a.pool, a.rows[u][:0], a.rows[v][:0])
+	a.rows[u] = merged
+	a.rows[v] = nil
+
+	a.alive[v] = false
+	a.id[u] = w
+	a.size[u] += a.size[v]
+	a.next[a.tail[u]] = a.head[v]
+	a.tail[u] = a.tail[v]
+
+	for _, e := range merged {
+		a.patchNeighbor(e.to, u, v, e.cnt)
+	}
+	a.rescanBest(u)
+	a.publish(u)
+}
+
+// patchNeighbor rewrites x's row after slots u and v merged into slot u
+// with combined count cnt, then repairs x's cached best. Rows never grow:
+// the patch is a count update, an in-place deletion, or an in-place
+// shifted replacement.
+func (a *arena) patchNeighbor(x, u, v, cnt int32) {
+	row := a.rows[x]
+	pu := lowerBound(row, u)
+	hasU := pu < len(row) && row[pu].to == u
+	pv := lowerBound(row, v)
+	hasV := pv < len(row) && row[pv].to == v
+	switch {
+	case hasU && hasV:
+		row[pu].cnt = cnt
+		copy(row[pv:], row[pv+1:])
+		row = row[:len(row)-1]
+	case hasU:
+		row[pu].cnt = cnt // x was linked to u only; the count is unchanged
+	case u < v:
+		// Only v: its entry moves down to u's sorted position.
+		copy(row[pu+1:pv+1], row[pu:pv])
+		row[pu] = linkEntry{to: u, cnt: cnt}
+	default:
+		// Only v, and u sorts after it: shift the gap up instead.
+		copy(row[pv:pu-1], row[pv+1:pu])
+		row[pu-1] = linkEntry{to: u, cnt: cnt}
+	}
+	a.rows[x] = row
+
+	if bt := a.bestTo[x]; bt == u || bt == v {
+		// The cached best was a merge participant; rescan the row.
+		old := a.bestG[x]
+		a.rescanBest(x)
+		if a.bestG[x] != old {
+			a.publish(x)
+		}
+	} else if g := a.pairGoodness(x, u, cnt); g > a.bestG[x] {
+		// The merged cluster has the youngest id, so on a tie the cached
+		// best keeps winning — only a strictly better goodness displaces it.
+		a.bestTo[x], a.bestG[x] = u, g
+		a.publish(x)
+	}
+}
+
+// weed removes clusters of size ≤ maxSize, detaching them from every
+// surviving cluster's row and repairing the survivors' bests. It returns
+// the number of clusters removed.
+func (a *arena) weed(maxSize int, res *engineResult) int {
+	n := len(a.alive)
+	var victims []int32
+	for s := int32(0); int(s) < n; s++ {
+		if a.alive[s] && int(a.size[s]) <= maxSize {
+			victims = append(victims, s)
+		}
+	}
+	for _, s := range victims {
+		a.alive[s] = false
+		a.heap.Invalidate(int(s))
+		for m := a.head[s]; m >= 0; m = a.next[m] {
+			res.weeded = append(res.weeded, int(m))
+		}
+	}
+	dirty := make([]bool, n)
+	for _, s := range victims {
+		for _, e := range a.rows[s] {
+			x := e.to
+			if !a.alive[x] {
+				continue // a fellow victim
+			}
+			row := a.rows[x]
+			p := lowerBound(row, s)
+			copy(row[p:], row[p+1:])
+			a.rows[x] = row[:len(row)-1]
+			dirty[x] = true
+		}
+		a.pool = append(a.pool, a.rows[s][:0])
+		a.rows[s] = nil
+	}
+	for x := int32(0); int(x) < n; x++ {
+		if !dirty[x] {
+			continue
+		}
+		old := a.bestG[x]
+		a.rescanBest(x)
+		if a.bestTo[x] < 0 || a.bestG[x] != old {
+			a.publish(x)
+		}
+	}
+	return len(victims)
+}
+
+// collect gathers surviving clusters deterministically: members
+// ascending, clusters ordered by their smallest member.
+func (a *arena) collect(res *engineResult) {
+	for s := range a.alive {
+		if !a.alive[s] {
+			continue
+		}
+		m := make([]int, 0, a.size[s])
+		for p := a.head[s]; p >= 0; p = a.next[p] {
+			m = append(m, int(p))
 		}
 		sort.Ints(m)
 		res.clusters = append(res.clusters, m)
 	}
 	sort.Slice(res.clusters, func(i, j int) bool { return res.clusters[i][0] < res.clusters[j][0] })
 	sort.Ints(res.weeded)
-	return res
 }
 
-// weed removes clusters of size ≤ maxSize, detaching them from every
-// surviving cluster's link map and heaps. It returns the number of
-// clusters removed.
-func weed(clusters map[int]*clus, global *pqueue.Heap, maxSize int, res *engineResult) int {
-	var victims []int
-	for id, c := range clusters {
-		if c.size <= maxSize {
-			victims = append(victims, id)
-		}
+// pairGoodness evaluates the goodness of merging the clusters in slots x
+// and y over cnt cross links, passing sizes in the order the reference
+// engine used when it stored the pair: the more recently created cluster
+// (higher logical id) first. The built-in goodness functions are
+// symmetric in the sizes; reproducing the convention keeps output
+// byte-identical even for custom asymmetric ones.
+func (a *arena) pairGoodness(x, y, cnt int32) float64 {
+	if a.id[y] > a.id[x] {
+		return a.good(int(cnt), int(a.size[y]), int(a.size[x]), a.f)
 	}
-	sort.Ints(victims)
-	for _, id := range victims {
-		c := clusters[id]
-		for _, m := range c.members {
-			res.weeded = append(res.weeded, int(m))
-		}
-		for x := range c.links {
-			cx, ok := clusters[x]
-			if !ok {
-				continue // x is itself a victim already removed
-			}
-			delete(cx.links, id)
-			cx.heap.Remove(id)
-			updateGlobal(global, x, cx)
-		}
-		global.Remove(id)
-		delete(clusters, id)
-	}
-	return len(victims)
+	return a.good(int(cnt), int(a.size[x]), int(a.size[y]), a.f)
 }
 
-// updateGlobal synchronizes cluster x's entry in the global heap with the
-// top of its local heap.
-func updateGlobal(global *pqueue.Heap, x int, c *clus) {
-	if _, p, ok := c.heap.Peek(); ok {
-		global.Set(x, p)
+// rescanBest recomputes slot x's cached best partner from its row: max
+// goodness, ties toward the smaller logical id — exactly the top of the
+// reference engine's per-cluster heap.
+func (a *arena) rescanBest(x int32) {
+	bt, bg, bid := int32(-1), 0.0, int32(0)
+	for _, e := range a.rows[x] {
+		g := a.pairGoodness(x, e.to, e.cnt)
+		if bt < 0 || g > bg || (g == bg && a.id[e.to] < bid) {
+			bt, bg, bid = e.to, g, a.id[e.to]
+		}
+	}
+	a.bestTo[x], a.bestG[x] = bt, bg
+}
+
+// publish syncs slot x's global-heap entry with its cached best.
+func (a *arena) publish(x int32) {
+	if a.bestTo[x] < 0 {
+		a.heap.Invalidate(int(x))
 	} else {
-		global.Remove(x)
+		a.heap.Update(int(x), a.id[x], a.bestG[x])
 	}
+}
+
+// rowCount returns the link count between slots x and y (y must be in
+// x's row).
+func (a *arena) rowCount(x, y int32) int32 {
+	return a.rows[x][lowerBound(a.rows[x], y)].cnt
+}
+
+// takeBuf returns a retired row buffer, or nil (the subsequent appends
+// then allocate).
+func (a *arena) takeBuf() []linkEntry {
+	if n := len(a.pool); n > 0 {
+		b := a.pool[n-1][:0]
+		a.pool = a.pool[:n-1]
+		return b
+	}
+	return nil
+}
+
+// mergeRows two-pointer merges the rows of u and v into out, dropping
+// their entries for each other and summing counts of common neighbors.
+func mergeRows(ru, rv []linkEntry, u, v int32, out []linkEntry) []linkEntry {
+	i, j := 0, 0
+	for i < len(ru) && j < len(rv) {
+		switch {
+		case ru[i].to == v:
+			i++
+		case rv[j].to == u:
+			j++
+		case ru[i].to < rv[j].to:
+			out = append(out, ru[i])
+			i++
+		case rv[j].to < ru[i].to:
+			out = append(out, rv[j])
+			j++
+		default:
+			out = append(out, linkEntry{to: ru[i].to, cnt: addCounts(ru[i].cnt, rv[j].cnt)})
+			i++
+			j++
+		}
+	}
+	for ; i < len(ru); i++ {
+		if ru[i].to != v {
+			out = append(out, ru[i])
+		}
+	}
+	for ; j < len(rv); j++ {
+		if rv[j].to != u {
+			out = append(out, rv[j])
+		}
+	}
+	return out
+}
+
+// addCounts sums two link counts, failing loudly if the aggregate
+// overflows linkEntry's int32 — silent wraparound would corrupt goodness
+// values and diverge from the reference engine undetectably.
+func addCounts(a, b int32) int32 {
+	s := int64(a) + int64(b)
+	if s > math.MaxInt32 {
+		panic("core: aggregated cross-link count exceeds 2^31; the arena engine's int32 link rows cannot represent this workload")
+	}
+	return int32(s)
+}
+
+// lowerBound returns the first index in row whose slot is ≥ slot.
+func lowerBound(row []linkEntry, slot int32) int {
+	lo, hi := 0, len(row)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if row[mid].to < slot {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// BenchAgglomerateArena runs the production arena engine over a prebuilt
+// CSR link table, exported for the `rockbench -merge` sweep
+// (internal/expt); it is the same agglomerate the pipeline calls.
+func BenchAgglomerateArena(n int, lt *linkage.Compact, k int, f float64) (clusters, merges int) {
+	res := agglomerate(n, lt, k, RockGoodness, f, 0, 0, false)
+	return len(res.clusters), res.merges
 }

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/rockclust/rock/internal/dataset"
+	"github.com/rockclust/rock/internal/linkage"
+	"github.com/rockclust/rock/internal/similarity"
+)
+
+// asymGoodness depends asymmetrically on the cluster sizes: it pins down
+// the arena engine's size-argument convention (more recently created
+// cluster first), which the symmetric built-ins cannot distinguish.
+func asymGoodness(links int, ni, nj int, f float64) float64 {
+	return float64(links) / (float64(ni) + 0.5*float64(nj) + f)
+}
+
+// checkEnginesAgree runs both engines on one configuration and fails on
+// any divergence, field by field.
+func checkEnginesAgree(t *testing.T, label string, n int, lt *linkage.Compact, k int, good GoodnessFunc, f float64, weedTrigger, weedMaxSize int, trace bool) {
+	t.Helper()
+	arena := agglomerate(n, lt, k, good, f, weedTrigger, weedMaxSize, trace)
+	ref := agglomerateMap(n, lt, k, good, f, weedTrigger, weedMaxSize, trace)
+	if !reflect.DeepEqual(arena.clusters, ref.clusters) {
+		t.Fatalf("%s: clusters diverge\narena: %v\nref:   %v", label, arena.clusters, ref.clusters)
+	}
+	if !reflect.DeepEqual(arena.weeded, ref.weeded) {
+		t.Fatalf("%s: weeded diverge: arena %v, ref %v", label, arena.weeded, ref.weeded)
+	}
+	if arena.merges != ref.merges {
+		t.Fatalf("%s: merges %d vs %d", label, arena.merges, ref.merges)
+	}
+	if arena.stoppedEarly != ref.stoppedEarly {
+		t.Fatalf("%s: stoppedEarly %v vs %v", label, arena.stoppedEarly, ref.stoppedEarly)
+	}
+	if !reflect.DeepEqual(arena.trace, ref.trace) {
+		if len(arena.trace) != len(ref.trace) {
+			t.Fatalf("%s: trace length %d vs %d", label, len(arena.trace), len(ref.trace))
+		}
+		for i := range arena.trace {
+			if arena.trace[i] != ref.trace[i] {
+				t.Fatalf("%s: trace step %d diverges\narena: %+v\nref:   %+v", label, i, arena.trace[i], ref.trace[i])
+			}
+		}
+	}
+}
+
+// TestEngineOracleRandom proves the arena engine byte-identical to the
+// map-based reference across ≥50 seeded configurations varying n, the
+// link structure, k, f(θ), the goodness function (including an asymmetric
+// one), weeding, and tracing.
+func TestEngineOracleRandom(t *testing.T) {
+	goodFuncs := []struct {
+		name string
+		fn   GoodnessFunc
+	}{
+		{"rock", RockGoodness},
+		{"linkcount", LinkCountGoodness},
+		{"avglink", AverageLinkGoodness},
+		{"asym", asymGoodness},
+	}
+	for seed := int64(0); seed < 64; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(120)
+		lt := randomLinkTable(r, n)
+		k := 1 + r.Intn(6)
+		theta := 0.05 + 0.9*r.Float64()
+		f := MarketBasketF(theta)
+		good := goodFuncs[int(seed)%len(goodFuncs)]
+		weedTrigger, weedMaxSize := 0, 0
+		if seed%2 == 1 {
+			weedTrigger = 1 + r.Intn(n)
+			weedMaxSize = 1 + r.Intn(3)
+		}
+		trace := seed%3 != 0
+		label := fmt.Sprintf("seed=%d n=%d k=%d good=%s weed=%d/%d trace=%v",
+			seed, n, k, good.name, weedTrigger, weedMaxSize, trace)
+		checkEnginesAgree(t, label, n, lt, k, good.fn, f, weedTrigger, weedMaxSize, trace)
+	}
+}
+
+// TestEngineOracleDense exercises the engines on denser structured link
+// tables than the sparse random ones above: cliques with noise edges,
+// where long merge chains and frequent best-partner invalidations stress
+// the incremental repair paths.
+func TestEngineOracleDense(t *testing.T) {
+	for seed := int64(100); seed < 110; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		n := 30 + r.Intn(40)
+		groups := 2 + r.Intn(4)
+		tb := &linkage.Table{Adj: make([]map[int32]int32, n)}
+		for i := 0; i < n; i++ {
+			tb.Adj[i] = make(map[int32]int32)
+		}
+		link := func(i, j, c int) {
+			if i != j {
+				tb.Adj[i][int32(j)] = int32(c)
+				tb.Adj[j][int32(i)] = int32(c)
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if i%groups == j%groups {
+					link(i, j, 1+r.Intn(4))
+				}
+			}
+		}
+		for e := 0; e < n/2; e++ {
+			link(r.Intn(n), r.Intn(n), 1+r.Intn(2))
+		}
+		lt := linkage.CompactFrom(tb)
+		label := fmt.Sprintf("dense seed=%d n=%d groups=%d", seed, n, groups)
+		checkEnginesAgree(t, label, n, lt, groups, RockGoodness, 1.0/3.0, 0, 0, true)
+		checkEnginesAgree(t, label+" weed", n, lt, groups, RockGoodness, 1.0/3.0, n/2, 2, true)
+	}
+}
+
+// TestEngineOraclePipelineData runs both engines on link tables produced
+// by the real pipeline (θ-neighbors of transaction data) rather than
+// synthetic adjacency.
+func TestEngineOraclePipelineData(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 8; trial++ {
+		n := 40 + r.Intn(60)
+		ts := make([]dataset.Transaction, n)
+		for i := range ts {
+			items := make([]dataset.Item, 2+r.Intn(6))
+			for k := range items {
+				items[k] = dataset.Item(r.Intn(18))
+			}
+			ts[i] = dataset.NewTransaction(items...)
+		}
+		theta := 0.2 + 0.3*r.Float64()
+		nb := similarity.Compute(ts, theta, similarity.Options{})
+		lt := linkage.Build(nb, linkage.Options{})
+		label := fmt.Sprintf("pipeline trial=%d n=%d theta=%.2f", trial, n, theta)
+		checkEnginesAgree(t, label, n, lt, 1+r.Intn(4), RockGoodness, MarketBasketF(theta), 0, 0, true)
+	}
+}
+
+// TestAddCountsOverflow: an aggregated cross-link count past int32 must
+// fail loudly, never wrap into a corrupt goodness value.
+func TestAddCountsOverflow(t *testing.T) {
+	if got := addCounts(1<<30, 1<<30-1); got != 1<<31-1 {
+		t.Fatalf("addCounts at the boundary = %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overflowing addCounts did not panic")
+		}
+	}()
+	addCounts(1<<30, 1<<30)
+}
+
+// staleScenarioTable builds the link structure for the stale-entry
+// regression tests: cliques A={0,1,2}, B={3,4,5}, C={8,9,10} (links 2
+// within), a straggler pair {6,7} with the strongest links in the graph,
+// and weak bridges 6–0 and 3–8. The straggler merges first (goodness
+// ≈7.66 vs ≈1.70 for clique pairs), the cliques complete over the next
+// six merges, and at 4 active clusters weeding discards {6,7} — while the
+// heap array still physically holds its superseded entries plus the
+// invalidated entries of cluster A, whose only remaining link the weed
+// severed. The pops that follow must skip all of them.
+func staleScenarioTable() (int, *linkage.Compact) {
+	pairs := map[[2]int]int{
+		{0, 1}: 2, {0, 2}: 2, {1, 2}: 2,
+		{3, 4}: 2, {3, 5}: 2, {4, 5}: 2,
+		{8, 9}: 2, {8, 10}: 2, {9, 10}: 2,
+		{6, 7}: 9,
+		{6, 0}: 1, {3, 8}: 1,
+	}
+	return 11, tableFromPairs(11, pairs)
+}
+
+// TestEngineStaleGlobalEntryRegression pins the replacement of the
+// reference engine's defensive `continue` (popping a global entry whose
+// cluster lost all links): under the lazy heap such entries are
+// superseded in place and must never surface. Weeding fires with the
+// straggler's entries still inside the heap array and empties cluster A's
+// row; the next pop has to discard those stale entries and still find the
+// live B–C pair, matching the reference engine exactly.
+func TestEngineStaleGlobalEntryRegression(t *testing.T) {
+	n, lt := staleScenarioTable()
+	res := agglomerate(n, lt, 2, RockGoodness, 1.0/3.0, 4, 2, false)
+	ref := agglomerateMap(n, lt, 2, RockGoodness, 1.0/3.0, 4, 2, false)
+	if !reflect.DeepEqual(res.clusters, ref.clusters) || !reflect.DeepEqual(res.weeded, ref.weeded) {
+		t.Fatalf("arena %v/%v, reference %v/%v", res.clusters, res.weeded, ref.clusters, ref.weeded)
+	}
+	if !reflect.DeepEqual(res.weeded, []int{6, 7}) {
+		t.Fatalf("weeded = %v, want the straggler pair", res.weeded)
+	}
+	want := [][]int{{0, 1, 2}, {3, 4, 5, 8, 9, 10}}
+	if !reflect.DeepEqual(res.clusters, want) {
+		t.Fatalf("clusters = %v, want %v", res.clusters, want)
+	}
+	if res.stoppedEarly || ref.stoppedEarly {
+		t.Fatal("run must reach k=2 without stopping early")
+	}
+}
+
+// TestEngineStaleEntriesExhaustHeap drives the same scenario to k=1: once
+// B and C merge, only stale and invalidated entries remain in the lazy
+// heap's array (cluster A has no links left), so the engine must report
+// stoppedEarly rather than popping a dead cluster — the exact situation
+// the reference engine's defensive branch guarded against.
+func TestEngineStaleEntriesExhaustHeap(t *testing.T) {
+	n, lt := staleScenarioTable()
+	res := agglomerate(n, lt, 1, RockGoodness, 1.0/3.0, 4, 2, false)
+	ref := agglomerateMap(n, lt, 1, RockGoodness, 1.0/3.0, 4, 2, false)
+	if !res.stoppedEarly || !ref.stoppedEarly {
+		t.Fatalf("stoppedEarly: arena %v, reference %v — want both true", res.stoppedEarly, ref.stoppedEarly)
+	}
+	if !reflect.DeepEqual(res.clusters, ref.clusters) || !reflect.DeepEqual(res.weeded, ref.weeded) {
+		t.Fatalf("arena %v/%v, reference %v/%v", res.clusters, res.weeded, ref.clusters, ref.weeded)
+	}
+	if len(res.clusters) != 2 {
+		t.Fatalf("clusters = %v, want the two unlinked survivors", res.clusters)
+	}
+}

@@ -13,7 +13,11 @@ import (
 // (FromNeighborsCSR) or converted from a map-based Table (CompactFrom);
 // Build picks between the two by input size.
 type Compact struct {
-	rowStart []int32 // len n+1; row i occupies [rowStart[i], rowStart[i+1])
+	// rowStart is int64 so the total-entry ceiling is the address space,
+	// not 2^31: at ~100k dense points the link table already brushes
+	// against int32 offsets. Columns stay int32 — they index points, and
+	// point counts beyond 2^31 are out of scope.
+	rowStart []int64 // len n+1; row i occupies [rowStart[i], rowStart[i+1])
 	cols     []int32
 	counts   []int32
 }
@@ -21,15 +25,16 @@ type Compact struct {
 // CompactFrom converts a Table into its CSR form.
 func CompactFrom(t *Table) *Compact {
 	n := t.Len()
-	c := &Compact{rowStart: make([]int32, n+1)}
+	lens := make([]int32, n)
 	total := 0
 	for i := 0; i < n; i++ {
+		lens[i] = int32(len(t.Adj[i]))
 		total += len(t.Adj[i])
 	}
+	c := &Compact{rowStart: rowStartFromLengths(lens)}
 	c.cols = make([]int32, 0, total)
 	c.counts = make([]int32, 0, total)
 	for i := 0; i < n; i++ {
-		c.rowStart[i] = int32(len(c.cols))
 		row := make([]int32, 0, len(t.Adj[i]))
 		for j := range t.Adj[i] {
 			row = append(row, j)
@@ -40,8 +45,19 @@ func CompactFrom(t *Table) *Compact {
 			c.counts = append(c.counts, t.Adj[i][j])
 		}
 	}
-	c.rowStart[n] = int32(len(c.cols))
 	return c
+}
+
+// rowStartFromLengths prefix-sums per-row entry counts into the CSR
+// row-start array. The accumulation is int64 throughout, so tables whose
+// total entry count exceeds 2^31 index exactly; both builders and the
+// boundary test share this path.
+func rowStartFromLengths(lens []int32) []int64 {
+	rs := make([]int64, len(lens)+1)
+	for i, l := range lens {
+		rs[i+1] = rs[i] + int64(l)
+	}
+	return rs
 }
 
 // Len reports the number of points.
@@ -67,6 +83,10 @@ func (c *Compact) Get(i, j int) int {
 
 // Degree reports the number of points linked to i.
 func (c *Compact) Degree(i int) int { return int(c.rowStart[i+1] - c.rowStart[i]) }
+
+// Entries reports the total number of directed link entries — the length
+// of the cols/counts arrays.
+func (c *Compact) Entries() int { return len(c.cols) }
 
 // Pairs reports the number of undirected positive-link pairs.
 func (c *Compact) Pairs() int { return len(c.cols) / 2 }

@@ -59,3 +59,70 @@ func TestCompactEmpty(t *testing.T) {
 		t.Fatal("empty compact wrong")
 	}
 }
+
+// TestRowStartPastInt32 drives the shared prefix-sum path with a
+// synthetic degree profile whose total crosses the old int32 offset
+// ceiling (~2.1B entries) without allocating the entries themselves: 24
+// rows of 200M links total 4.8B. Offsets must stay exact and monotonic
+// past 2^31, and Degree must read them back losslessly.
+func TestRowStartPastInt32(t *testing.T) {
+	const rows = 24
+	const perRow = 200_000_000 // fits int32 per row; total does not
+	lens := make([]int32, rows)
+	for i := range lens {
+		lens[i] = perRow
+	}
+	rs := rowStartFromLengths(lens)
+	if len(rs) != rows+1 {
+		t.Fatalf("rowStart length %d, want %d", len(rs), rows+1)
+	}
+	wantTotal := int64(rows) * perRow
+	if rs[rows] != wantTotal {
+		t.Fatalf("total = %d, want %d (int32 would wrap at %d)", rs[rows], wantTotal, int64(1)<<31)
+	}
+	if wantTotal <= int64(1)<<31 {
+		t.Fatal("test profile no longer crosses the int32 boundary; enlarge it")
+	}
+	for i := 0; i < rows; i++ {
+		if rs[i+1]-rs[i] != perRow {
+			t.Fatalf("row %d length %d, want %d", i, rs[i+1]-rs[i], perRow)
+		}
+		if rs[i+1] <= rs[i] {
+			t.Fatalf("rowStart not strictly increasing at %d", i)
+		}
+	}
+	// Degree must be exact through a Compact carrying the int64 offsets.
+	c := &Compact{rowStart: rs}
+	for i := 0; i < rows; i++ {
+		if c.Degree(i) != perRow {
+			t.Fatalf("Degree(%d) = %d, want %d", i, c.Degree(i), perRow)
+		}
+	}
+	if c.Len() != rows {
+		t.Fatalf("Len = %d, want %d", c.Len(), rows)
+	}
+}
+
+// TestRowStartUnevenProfile checks the prefix sum on a skewed synthetic
+// degree profile (a few huge rows among many small ones) near the
+// boundary, the shape a production-scale link table actually has.
+func TestRowStartUnevenProfile(t *testing.T) {
+	lens := make([]int32, 1000)
+	for i := range lens {
+		lens[i] = int32(i % 97)
+	}
+	lens[100] = 1 << 30
+	lens[500] = 1 << 30
+	lens[900] = 1 << 30
+	rs := rowStartFromLengths(lens)
+	var want int64
+	for i, l := range lens {
+		if rs[i] != want {
+			t.Fatalf("rowStart[%d] = %d, want %d", i, rs[i], want)
+		}
+		want += int64(l)
+	}
+	if rs[len(lens)] != want || want <= int64(1)<<31 {
+		t.Fatalf("total %d (want %d, and it must exceed 2^31)", rs[len(lens)], want)
+	}
+}

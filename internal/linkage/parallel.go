@@ -57,7 +57,7 @@ func Build(nb *similarity.Neighbors, opts Options) *Compact {
 func FromNeighborsCSR(nb *similarity.Neighbors, workers int) *Compact {
 	n := nb.Len()
 	if n == 0 {
-		return &Compact{rowStart: make([]int32, 1)}
+		return &Compact{rowStart: make([]int64, 1)}
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -141,12 +141,10 @@ func FromNeighborsCSR(nb *similarity.Neighbors, workers int) *Compact {
 	close(shards)
 	wg.Wait()
 
-	// Assemble: prefix-sum the row lengths, then concatenate the shard
-	// arenas in shard order — each arena already holds its rows in order.
-	c := &Compact{rowStart: make([]int32, n+1)}
-	for i := 0; i < n; i++ {
-		c.rowStart[i+1] = c.rowStart[i] + rowLen[i]
-	}
+	// Assemble: prefix-sum the row lengths (in int64, so totals past 2^31
+	// entries stay exact), then concatenate the shard arenas in shard
+	// order — each arena already holds its rows in order.
+	c := &Compact{rowStart: rowStartFromLengths(rowLen)}
 	total := int(c.rowStart[n])
 	c.cols = make([]int32, total)
 	c.counts = make([]int32, total)
