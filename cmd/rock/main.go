@@ -35,7 +35,7 @@ func main() {
 		members  = flag.Bool("members", false, "print cluster members")
 		topItems = flag.Int("top-items", 0, "print this many top items per cluster")
 		lsh      = flag.Bool("lsh", false, "approximate neighbors via MinHash LSH (large inputs)")
-		workers  = flag.Int("workers", 0, "goroutines for the neighbor and link phases (0 = GOMAXPROCS); results are identical for every value")
+		workers  = flag.Int("workers", 0, "goroutines for the neighbor, link, and merge phases (0 = GOMAXPROCS); results are identical for every value")
 		maxRows  = flag.Int("max-rows", 40, "clusters shown in the summary table")
 	)
 	flag.Parse()

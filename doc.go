@@ -30,17 +30,18 @@
 //
 // # Performance
 //
-// The two hot phases both parallelize under Config.Workers (0 means
-// GOMAXPROCS): θ-neighbor computation shards rows across goroutines, and
+// All three hot phases parallelize under Config.Workers (0 means
+// GOMAXPROCS): θ-neighbor computation shards rows across goroutines;
 // link computation — the paper's O(Σ mᵢ²) bottleneck — runs as sharded
 // row-wise pair counting that assembles a compressed-sparse-row (CSR)
-// link table directly, with no intermediate hash maps. CSR row offsets
-// are int64, so the table indexes exactly past 2^31 total link entries.
-// Small inputs automatically take the serial reference path
-// (Config.LinkSerialBelow tunes the crossover); results are
-// byte-identical for every worker count and both link paths.
-// `cmd/rockbench -links` records the serial-vs-parallel sweep in
-// BENCH_links.json.
+// link table directly, with no intermediate hash maps; and the merge
+// phase runs parallel batched merge rounds (below). CSR row offsets are
+// int64, so the table indexes exactly past 2^31 total link entries.
+// Small inputs automatically take the serial paths
+// (Config.LinkSerialBelow and Config.MergeSerialBelow tune the
+// crossovers); results are byte-identical for every worker count and
+// every path. `cmd/rockbench -links` records the serial-vs-parallel
+// link sweep in BENCH_links.json.
 //
 // The agglomeration phase — the paper's O(n² log n) merge loop — runs on
 // an arena engine: clusters live in flat slots (a merge reuses one
@@ -50,13 +51,23 @@
 // best-partner per cluster under a single lazy indexed heap that
 // discards superseded entries on pop. The hot loop performs no hashing
 // and almost no allocation (~90× fewer allocations than the map-based
-// reference engine at n=10k, ~3.5× faster end-to-end). Its invariants:
-// the engine is deterministic, and its output — clusters, outliers,
-// merge counts, and the full merge trace — is byte-identical to the
-// reference engine kept in internal/core/engine_reference.go, enforced
-// by a randomized oracle test. `cmd/rockbench -merge` records the
-// map-vs-arena sweep in BENCH_merge.json.
+// reference engine at n=10k, ~3.5× faster end-to-end).
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// reproduction of every table and figure in the paper's evaluation.
+// With Workers > 1 the arena's merges execute in batched rounds: each
+// round selects a conflict-free prefix of the heap's pop order — merges
+// whose closed neighborhoods are disjoint — computes and commits them
+// concurrently, and repairs the heap once. A validation step truncates
+// any batch the serial engine would have ordered differently (goodness
+// is not monotone under merging), so every round is provably a prefix of
+// the serial merge sequence. The invariant across all engines: output —
+// clusters, outliers, merge counts, and the full merge trace — is
+// byte-identical to the reference engine kept in
+// internal/core/engine_reference.go, enforced by a randomized oracle
+// test across configurations and worker counts under the race detector.
+// `cmd/rockbench -merge` records the map-vs-arena-vs-batched sweep in
+// BENCH_merge.json.
+//
+// See README.md for the architecture tour and benchmark tables, and
+// cmd/rockbench for the reproduction of every table and figure in the
+// paper's evaluation.
 package rock

@@ -66,8 +66,10 @@ type Config struct {
 	// MaxLabelPoints caps |L_i| per cluster; default 50.
 	MaxLabelPoints int
 
-	// Workers bounds parallelism in the neighbor and link phases; 0 =
-	// GOMAXPROCS. Results are byte-identical for every worker count.
+	// Workers bounds parallelism in the neighbor, link, and merge phases;
+	// 0 = GOMAXPROCS. Results are byte-identical for every worker count:
+	// the batched merge engine commits conflict-free rounds whose output
+	// is provably the serial merge sequence.
 	Workers int
 	// LinkSerialBelow overrides the link-phase crossover: samples with
 	// fewer kept points than this use the serial map-based link builder,
@@ -76,6 +78,14 @@ type Config struct {
 	// builders produce bit-identical tables — this knob only trades
 	// constant factors.
 	LinkSerialBelow int
+	// MergeSerialBelow overrides the merge-phase crossover: samples with
+	// fewer kept points than this agglomerate on the serial arena engine,
+	// larger ones on the parallel batched engine. 0 picks the built-in
+	// crossover; negative forces batched merge rounds at every size.
+	// Workers <= 1 always takes the serial engine regardless of this
+	// knob. Both engines produce byte-identical clusterings — the choice
+	// only trades constant factors.
+	MergeSerialBelow int
 
 	// TraceMerges records every merge step into Result.MergeTrace,
 	// turning the run into a dendrogram that CutTrace can cut at any

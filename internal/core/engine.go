@@ -194,10 +194,32 @@ func (a *arena) merge(u, v, w int32) {
 }
 
 // patchNeighbor rewrites x's row after slots u and v merged into slot u
-// with combined count cnt, then repairs x's cached best. Rows never grow:
-// the patch is a count update, an in-place deletion, or an in-place
-// shifted replacement.
+// with combined count cnt, then repairs x's cached best.
 func (a *arena) patchNeighbor(x, u, v, cnt int32) {
+	a.patchRow(x, u, v, cnt)
+
+	if bt := a.bestTo[x]; bt == u || bt == v {
+		// The cached best was a merge participant; rescan the row.
+		old := a.bestG[x]
+		a.rescanBest(x)
+		if a.bestG[x] != old {
+			a.publish(x)
+		}
+	} else if g := a.pairGoodness(x, u, cnt); g > a.bestG[x] {
+		// The merged cluster has the youngest id, so on a tie the cached
+		// best keeps winning — only a strictly better goodness displaces it.
+		a.bestTo[x], a.bestG[x] = u, g
+		a.publish(x)
+	}
+}
+
+// patchRow is the structural half of patchNeighbor: rewrite x's row after
+// slots u and v merged into slot u with combined count cnt, leaving the
+// cached best untouched. Rows never grow: the patch is a count update, an
+// in-place deletion, or an in-place shifted replacement. The batched
+// engine calls it concurrently for neighbors of different merges, which is
+// safe because conflict-free batches have disjoint closed neighborhoods.
+func (a *arena) patchRow(x, u, v, cnt int32) {
 	row := a.rows[x]
 	pu := lowerBound(row, u)
 	hasU := pu < len(row) && row[pu].to == u
@@ -220,20 +242,6 @@ func (a *arena) patchNeighbor(x, u, v, cnt int32) {
 		row[pu-1] = linkEntry{to: u, cnt: cnt}
 	}
 	a.rows[x] = row
-
-	if bt := a.bestTo[x]; bt == u || bt == v {
-		// The cached best was a merge participant; rescan the row.
-		old := a.bestG[x]
-		a.rescanBest(x)
-		if a.bestG[x] != old {
-			a.publish(x)
-		}
-	} else if g := a.pairGoodness(x, u, cnt); g > a.bestG[x] {
-		// The merged cluster has the youngest id, so on a tie the cached
-		// best keeps winning — only a strictly better goodness displaces it.
-		a.bestTo[x], a.bestG[x] = u, g
-		a.publish(x)
-	}
 }
 
 // weed removes clusters of size ≤ maxSize, detaching them from every

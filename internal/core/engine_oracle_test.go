@@ -18,31 +18,47 @@ func asymGoodness(links int, ni, nj int, f float64) float64 {
 	return float64(links) / (float64(ni) + 0.5*float64(nj) + f)
 }
 
-// checkEnginesAgree runs both engines on one configuration and fails on
-// any divergence, field by field.
+// oracleWorkerCounts are the worker counts every oracle configuration
+// exercises through the batched engine, per the acceptance criteria.
+var oracleWorkerCounts = []int{1, 2, 4, 8}
+
+// checkEnginesAgree runs the arena engine, the map-based reference, and
+// the parallel batched engine (at every oracle worker count) on one
+// configuration and fails on any divergence, field by field.
 func checkEnginesAgree(t *testing.T, label string, n int, lt *linkage.Compact, k int, good GoodnessFunc, f float64, weedTrigger, weedMaxSize int, trace bool) {
 	t.Helper()
-	arena := agglomerate(n, lt, k, good, f, weedTrigger, weedMaxSize, trace)
 	ref := agglomerateMap(n, lt, k, good, f, weedTrigger, weedMaxSize, trace)
-	if !reflect.DeepEqual(arena.clusters, ref.clusters) {
-		t.Fatalf("%s: clusters diverge\narena: %v\nref:   %v", label, arena.clusters, ref.clusters)
+	arena := agglomerate(n, lt, k, good, f, weedTrigger, weedMaxSize, trace)
+	checkResultsEqual(t, label+" [arena]", &arena, &ref)
+	for _, workers := range oracleWorkerCounts {
+		par := agglomerateParallel(n, lt, k, good, f, weedTrigger, weedMaxSize, trace, workers)
+		checkResultsEqual(t, fmt.Sprintf("%s [batched workers=%d]", label, workers), &par, &ref)
 	}
-	if !reflect.DeepEqual(arena.weeded, ref.weeded) {
-		t.Fatalf("%s: weeded diverge: arena %v, ref %v", label, arena.weeded, ref.weeded)
+}
+
+// checkResultsEqual fails on any field-level divergence between an
+// engine's result and the reference's.
+func checkResultsEqual(t *testing.T, label string, got, ref *engineResult) {
+	t.Helper()
+	if !reflect.DeepEqual(got.clusters, ref.clusters) {
+		t.Fatalf("%s: clusters diverge\ngot: %v\nref: %v", label, got.clusters, ref.clusters)
 	}
-	if arena.merges != ref.merges {
-		t.Fatalf("%s: merges %d vs %d", label, arena.merges, ref.merges)
+	if !reflect.DeepEqual(got.weeded, ref.weeded) {
+		t.Fatalf("%s: weeded diverge: got %v, ref %v", label, got.weeded, ref.weeded)
 	}
-	if arena.stoppedEarly != ref.stoppedEarly {
-		t.Fatalf("%s: stoppedEarly %v vs %v", label, arena.stoppedEarly, ref.stoppedEarly)
+	if got.merges != ref.merges {
+		t.Fatalf("%s: merges %d vs %d", label, got.merges, ref.merges)
 	}
-	if !reflect.DeepEqual(arena.trace, ref.trace) {
-		if len(arena.trace) != len(ref.trace) {
-			t.Fatalf("%s: trace length %d vs %d", label, len(arena.trace), len(ref.trace))
+	if got.stoppedEarly != ref.stoppedEarly {
+		t.Fatalf("%s: stoppedEarly %v vs %v", label, got.stoppedEarly, ref.stoppedEarly)
+	}
+	if !reflect.DeepEqual(got.trace, ref.trace) {
+		if len(got.trace) != len(ref.trace) {
+			t.Fatalf("%s: trace length %d vs %d", label, len(got.trace), len(ref.trace))
 		}
-		for i := range arena.trace {
-			if arena.trace[i] != ref.trace[i] {
-				t.Fatalf("%s: trace step %d diverges\narena: %+v\nref:   %+v", label, i, arena.trace[i], ref.trace[i])
+		for i := range got.trace {
+			if got.trace[i] != ref.trace[i] {
+				t.Fatalf("%s: trace step %d diverges\ngot: %+v\nref: %+v", label, i, got.trace[i], ref.trace[i])
 			}
 		}
 	}

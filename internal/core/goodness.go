@@ -1,7 +1,28 @@
 // Package core implements the ROCK clustering algorithm: the goodness
-// measure and criterion function, the heap-driven agglomerative engine,
+// measure and criterion function, the agglomerative merge engines,
 // outlier handling, Chernoff-bound random sampling, the labeling phase for
 // out-of-sample points, and the QROCK connected-components variant.
+//
+// Three merge engines share one contract. engine_reference.go holds the
+// map-based reference (map[int]*clus, one indexed heap per cluster);
+// engine.go holds the serial arena engine; engine_parallel.go batches the
+// arena's merges into conflict-free concurrent rounds. All three produce
+// byte-identical results — clusters, weeded set, merge count, and the
+// full trace — which a randomized oracle test enforces configuration by
+// configuration, so the fast engines are refactors of the slow one in
+// the strictest sense.
+//
+// Arena invariants (engine.go): clusters live in slots [0, n); a merge
+// reuses one parent's slot for the product and the other slot dies, so
+// `alive` plus the logical `id` array replace the reference engine's
+// map. Logical ids — singletons 0..n-1, each merge minting the next id —
+// are the paper's tie-break and trace currency; slots are storage only.
+// Adjacency rows are sorted by slot, reference only live slots (merges
+// and weeding scrub dead entries), and are recycled through a buffer
+// pool; member lists are intrusive (head/tail/next over point indices),
+// so merging is two pointer writes. Each slot caches its best merge
+// partner (bestTo/bestG); the global lazy heap orders slots by that
+// cached best, tie-breaking on logical id.
 package core
 
 import (

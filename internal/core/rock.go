@@ -137,7 +137,9 @@ func Cluster(ts []dataset.Transaction, cfg Config) (*Result, error) {
 	lt := linkage.Build(keptNb, linkage.Options{Workers: cfg.Workers, SerialBelow: cfg.LinkSerialBelow})
 	res.Stats.LinkPairs = lt.Pairs()
 
-	// Phase 5: agglomerate.
+	// Phase 5: agglomerate. Small samples take the serial arena engine;
+	// larger ones (under Workers > 1) run parallel batched merge rounds.
+	// Either way the clustering is byte-identical and deterministic.
 	weedTrigger := 0
 	if cfg.WeedAt > 0 {
 		weedTrigger = int(math.Ceil(cfg.WeedAt * float64(len(kept))))
@@ -145,7 +147,7 @@ func Cluster(ts []dataset.Transaction, cfg Config) (*Result, error) {
 			weedTrigger = cfg.K
 		}
 	}
-	eng := agglomerate(len(kept), lt, cfg.K, cfg.Goodness, cfg.fval(), weedTrigger, cfg.WeedMaxSize, cfg.TraceMerges)
+	eng := agglomerateAuto(len(kept), lt, cfg.K, cfg.Goodness, cfg.fval(), weedTrigger, cfg.WeedMaxSize, cfg.TraceMerges, cfg.Workers, cfg.MergeSerialBelow)
 	res.Stats.Merges = eng.merges
 	res.Stats.StoppedEarly = eng.stoppedEarly
 	res.Stats.Weeded = len(eng.weeded)

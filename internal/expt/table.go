@@ -1,9 +1,18 @@
 // Package expt regenerates every table and figure of the paper's
-// evaluation (and the DESIGN.md ablations) on the synthetic stand-in
-// datasets. Each experiment is addressed by a stable id (E1..E8, A1..A5 —
-// see DESIGN.md §4), produces a Report with formatted tables and figure
-// series, and is runnable through cmd/rockbench or the bench_test.go
-// targets.
+// evaluation, plus the repo's own ablations, on the synthetic stand-in
+// datasets. Each experiment is addressed by a stable id (E1..E8 for the
+// paper's tables, A1..A6 for the ablations), produces a report with
+// formatted tables and figure series, and is runnable through
+// cmd/rockbench or the bench_test.go targets.
+//
+// Invariants: every experiment is deterministic under Options.Seed (the
+// generators, sampling, and every engine are seed-driven); Options.Quick
+// shrinks sweep sizes without changing their shape and is recorded in
+// any emitted JSON. The two perf sweeps (BenchLinks → BENCH_links.json,
+// BenchMerge → BENCH_merge.json) re-verify that the competing
+// implementations agree on every row before recording timings, and
+// stamp the GOMAXPROCS they were measured at — parallel columns are
+// only meaningful when it exceeds one.
 package expt
 
 import (

@@ -3,11 +3,23 @@
 // the neighborhood graph — the paper's central insight is that merging by
 // links is far more robust than merging by raw pairwise similarity.
 //
-// Two algorithms are provided. FromNeighbors is the paper's: for every
+// Three algorithms are provided. FromNeighbors is the paper's: for every
 // point l, every pair of l's neighbors gains one link through l; expected
-// cost O(Σ_i m_i²) for neighbor-list sizes m_i. Dense recomputes every
-// count as a bitset intersection popcount and serves as an independent
-// oracle in tests and as a compact alternative for small dense samples.
+// cost O(Σ_i m_i²) for neighbor-list sizes m_i. FromNeighborsCSR shards
+// that pair counting across workers, each owning contiguous rows and
+// counting into dense scratch arrays. Dense recomputes every count as a
+// bitset intersection popcount and serves as an independent oracle in
+// tests and as a compact alternative for small dense samples.
+//
+// The production representation is Compact, a CSR (compressed sparse
+// row) table with these invariants: rowStart is int64 and has length
+// n+1, so tables index exactly past 2³¹ total entries; row i occupies
+// cols/counts[rowStart[i]:rowStart[i+1]] with column indices strictly
+// ascending (int32 — points per sample stay below 2³¹); the relation is
+// symmetric (j in row i iff i in row j, equal counts) and irreflexive.
+// Build picks the serial or sharded constructor by input size
+// (Options.SerialBelow tunes the crossover); both produce bit-identical
+// tables at every worker count, so the choice trades constants only.
 package linkage
 
 import (

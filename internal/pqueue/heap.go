@@ -1,13 +1,28 @@
-// Package pqueue implements an indexed binary max-heap: a priority queue
-// over integer keys supporting O(log n) insert, pop, and — crucially for
-// ROCK's clustering phase — O(log n) update and removal of an arbitrary
-// key. ROCK maintains one such "local" heap per cluster (ordered by merge
-// goodness with every linked cluster) and one "global" heap over clusters
-// (ordered by the goodness of each cluster's best local entry); merges
-// update and delete interior entries constantly.
+// Package pqueue implements the two priority queues behind ROCK's merge
+// engines.
 //
-// Ties in priority break toward the smaller key, making heap-driven
-// algorithms deterministic.
+// Heap is an eager indexed binary max-heap over integer keys: O(log n)
+// insert, pop, and — crucially for the reference engine, which keeps one
+// "local" heap per cluster and a "global" heap over clusters — O(log n)
+// update and removal of arbitrary keys. Ties in priority break toward
+// the smaller key, making heap-driven algorithms deterministic.
+//
+// Lazy is the version-stamped heap the arena engines use. Its contract:
+// every key carries a version counter; Update (and BulkUpdate) bump the
+// version and push a fresh entry stamped with it, never moving or
+// deleting interior entries; Invalidate bumps the version without
+// pushing. An entry is live iff its stamp equals its key's current
+// version — superseded entries stay in the array and are discarded when
+// they surface at a pop. Each entry freezes a caller-supplied tie-break
+// id at push time, so ordering (priority desc, id asc) is a function of
+// entry contents alone and survives keys whose external identity changes
+// between pushes (arena slots are reused; ties must break on logical
+// cluster ids — distinct live keys must carry distinct ids for fully
+// deterministic pops). Seeding is O(n) via BulkSet + Fix; a round of
+// batched repairs is BulkUpdate× + one Fix; stale entries are compacted
+// away whenever they outnumber live ones by more than 2:1 (the array
+// exceeding 3× the live count), keeping every operation amortized
+// O(log live).
 package pqueue
 
 // Heap is an indexed max-heap. The zero value is not usable; call New.

@@ -56,8 +56,28 @@ func (h *Lazy) BulkSet(key int, id int32, prio float64) {
 	h.live++
 }
 
-// Fix restores heap order in O(len) — Floyd's heapify.
+// BulkUpdate makes (id, prio) the key's current entry, superseding any
+// previous one, without restoring heap order; call Fix once after the last
+// BulkUpdate. It is the round-level analogue of Update: the batched merge
+// engine repairs all entries touched by a round of merges with BulkUpdate
+// and a single Fix instead of one sift per entry. Unlike BulkSet it is
+// valid on a populated heap and may be applied to a key repeatedly.
+func (h *Lazy) BulkUpdate(key int, id int32, prio float64) {
+	h.version[key]++
+	if !h.present[key] {
+		h.present[key] = true
+		h.live++
+	}
+	h.entries = append(h.entries, lazyEntry{prio: prio, id: id, key: int32(key), ver: h.version[key]})
+}
+
+// Fix restores heap order in O(len) — Floyd's heapify. When stale entries
+// dominate (as after many BulkUpdate rounds) it compacts first, so the
+// heapify runs over the live set plus a bounded stale fraction.
 func (h *Lazy) Fix() {
+	if h.overStale() {
+		h.compact()
+	}
 	for i := len(h.entries)/2 - 1; i >= 0; i-- {
 		h.siftDown(i)
 	}
@@ -111,12 +131,16 @@ func (h *Lazy) removeTop() {
 	}
 }
 
-// maybeCompact rebuilds the array from live entries when stale ones
-// dominate, keeping memory and sift depth proportional to the live set.
-func (h *Lazy) maybeCompact() {
-	if len(h.entries) < 64 || len(h.entries) <= 3*h.live {
-		return
-	}
+// overStale reports whether stale entries outnumber live ones by more
+// than 2:1 — the array exceeding 3× the live count — which is the
+// compaction threshold (small arrays are never worth compacting).
+func (h *Lazy) overStale() bool {
+	return len(h.entries) >= 64 && len(h.entries) > 3*h.live
+}
+
+// compact drops every superseded or invalidated entry in place. The
+// caller must re-establish heap order (Fix) afterwards.
+func (h *Lazy) compact() {
 	kept := h.entries[:0]
 	for _, e := range h.entries {
 		if e.ver == h.version[e.key] && h.present[e.key] {
@@ -124,7 +148,14 @@ func (h *Lazy) maybeCompact() {
 		}
 	}
 	h.entries = kept
-	h.Fix()
+}
+
+// maybeCompact rebuilds the array from live entries when stale ones
+// dominate, keeping memory and sift depth proportional to the live set.
+func (h *Lazy) maybeCompact() {
+	if h.overStale() {
+		h.Fix()
+	}
 }
 
 // less orders entries by priority descending, then id ascending; among
