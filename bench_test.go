@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"github.com/rockclust/rock"
+	"github.com/rockclust/rock/internal/core"
 	"github.com/rockclust/rock/internal/expt"
 	"github.com/rockclust/rock/internal/linkage"
 	"github.com/rockclust/rock/internal/similarity"
@@ -118,6 +119,62 @@ func BenchmarkLinksParallel(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					linkage.FromNeighborsCSR(nb, w)
+				}
+			})
+		}
+	}
+}
+
+// benchLabelFixture builds the labeling workload shared with the
+// `rockbench -label` sweep: a strided sample of a basket dataset
+// clustered with full ROCK, deterministic L_i sets carved from the
+// clusters, and the remaining 4n/5 points as candidates (see
+// expt.LabelFixture).
+func benchLabelFixture(b *testing.B, n int) (ts []rock.Transaction, candidates []int, sets [][]int) {
+	b.Helper()
+	ts, candidates, sets, err := expt.LabelFixture(n, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ts, candidates, sets
+}
+
+func BenchmarkLabelReference(b *testing.B) {
+	for _, n := range []int{2000, 10000} {
+		ts, candidates, sets := benchLabelFixture(b, n)
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				core.BenchLabelReference(ts, candidates, sets, 0.6, rock.MarketBasketF(0.6))
+			}
+		})
+	}
+}
+
+func BenchmarkLabelIndexed(b *testing.B) {
+	for _, n := range []int{2000, 10000} {
+		ts, candidates, sets := benchLabelFixture(b, n)
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				core.BenchLabelIndexed(ts, candidates, sets, 0.6, rock.MarketBasketF(0.6))
+			}
+		})
+	}
+}
+
+func BenchmarkLabelParallel(b *testing.B) {
+	workerCounts := []int{1, 2, 4}
+	if g := runtime.GOMAXPROCS(0); g != 1 && g != 2 && g != 4 {
+		workerCounts = append(workerCounts, g)
+	}
+	for _, n := range []int{2000, 10000} {
+		ts, candidates, sets := benchLabelFixture(b, n)
+		for _, w := range workerCounts {
+			b.Run(sizeName(n)+"/workers="+strconv.Itoa(w), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					core.BenchLabelParallel(ts, candidates, sets, 0.6, rock.MarketBasketF(0.6), w)
 				}
 			})
 		}

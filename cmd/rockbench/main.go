@@ -8,6 +8,7 @@
 //	rockbench -list
 //	rockbench -links       # serial-vs-parallel link sweep → BENCH_links.json
 //	rockbench -merge       # map-vs-arena agglomeration sweep → BENCH_merge.json
+//	rockbench -label       # pairwise-vs-indexed labeling sweep → BENCH_label.json
 package main
 
 import (
@@ -27,6 +28,7 @@ func main() {
 		out   = flag.String("out", "", "write reports to this file instead of stdout")
 		links = flag.Bool("links", false, "run the serial-vs-parallel link builder sweep and write BENCH_links.json (or -out)")
 		merge = flag.Bool("merge", false, "run the agglomeration engine sweep (map vs arena vs batched-parallel) and write BENCH_merge.json (or -out)")
+		label = flag.Bool("label", false, "run the labeling sweep (pairwise reference vs indexed vs sharded) and write BENCH_label.json (or -out)")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -44,6 +46,10 @@ func main() {
 	}
 	if *merge {
 		runSweep(*out, "BENCH_merge.json", *quick, *seed, expt.BenchMerge)
+		return
+	}
+	if *label {
+		runSweep(*out, "BENCH_label.json", *quick, *seed, expt.BenchLabel)
 		return
 	}
 
@@ -85,6 +91,8 @@ the performance-trajectory records:
   -links   serial-vs-parallel link builder sweep   → BENCH_links.json
   -merge   agglomeration engine sweep              → BENCH_merge.json
            (map reference vs serial arena vs parallel batched rounds)
+  -label   labeling-phase sweep                    → BENCH_label.json
+           (pairwise reference vs inverted-index vs sharded workers)
 
 With no flags and no ids, every experiment runs at paper scale to stdout.
 
@@ -98,8 +106,9 @@ Caveat for the BENCH_*.json sweeps: parallel speedups are only visible
 when GOMAXPROCS exceeds one. On a single-CPU host the worker goroutines
 serialize, so the recorded "parallel" columns show only the algorithmic
 differences (array counting vs map inserts for links; round-level heap
-repair for merges). Regenerate on a multi-core host to capture the
-scaling curve; the current GOMAXPROCS is recorded in each file.
+repair for merges; inverted-index counting vs pairwise similarity for
+labeling). Regenerate on a multi-core host to capture the scaling
+curve; the current GOMAXPROCS is recorded in each file.
 `)
 }
 

@@ -30,18 +30,21 @@
 //
 // # Performance
 //
-// All three hot phases parallelize under Config.Workers (0 means
+// All four hot phases parallelize under Config.Workers (0 means
 // GOMAXPROCS): θ-neighbor computation shards rows across goroutines;
 // link computation — the paper's O(Σ mᵢ²) bottleneck — runs as sharded
 // row-wise pair counting that assembles a compressed-sparse-row (CSR)
-// link table directly, with no intermediate hash maps; and the merge
-// phase runs parallel batched merge rounds (below). CSR row offsets are
-// int64, so the table indexes exactly past 2^31 total link entries.
-// Small inputs automatically take the serial paths
-// (Config.LinkSerialBelow and Config.MergeSerialBelow tune the
-// crossovers); results are byte-identical for every worker count and
-// every path. `cmd/rockbench -links` records the serial-vs-parallel
-// link sweep in BENCH_links.json.
+// link table directly, with no intermediate hash maps; the merge phase
+// runs parallel batched merge rounds (below); and the labeling phase
+// counts each candidate's θ-neighbors through an inverted index over
+// the labeled points, sharding candidates across the workers. CSR row
+// offsets are int64, so the table indexes exactly past 2^31 total link
+// entries. Small inputs automatically take the serial paths
+// (Config.LinkSerialBelow, Config.MergeSerialBelow and
+// Config.LabelSerialBelow tune the crossovers); results are
+// byte-identical for every worker count and every path.
+// `cmd/rockbench -links` records the serial-vs-parallel link sweep in
+// BENCH_links.json.
 //
 // The agglomeration phase — the paper's O(n² log n) merge loop — runs on
 // an arena engine: clusters live in flat slots (a merge reuses one
@@ -66,6 +69,22 @@
 // test across configurations and worker counts under the race detector.
 // `cmd/rockbench -merge` records the map-vs-arena-vs-batched sweep in
 // BENCH_merge.json.
+//
+// The labeling phase (Config.SampleSize set: assign every out-of-sample
+// point to the cluster maximizing Nᵢ/(|Lᵢ|+1)^f) follows the same
+// discipline. An inverted index over the labeled points yields each
+// candidate's intersection sizes in one pass over its items, and the
+// θ-test is decided exactly from (|t∩q|, |t|, |q|) — every built-in
+// measure is a pure function of those three numbers, computed by the
+// very same counted form the pairwise measure delegates to, so the
+// index path is bit-identical to pairwise evaluation; custom Measure
+// funcs and θ ≤ 0 fall back to the pairwise loop automatically.
+// Candidates are independent, so they shard across the workers with
+// byte-identical output by construction. The serial pairwise loop is
+// kept as the oracle fixture (internal/core/label.go), and
+// Result.Stats carries the phase's ledger (LabelCandidates == Labeled
+// + Unlabeled). `cmd/rockbench -label` records the pairwise-vs-indexed
+// sweep in BENCH_label.json.
 //
 // See README.md for the architecture tour and benchmark tables, and
 // cmd/rockbench for the reproduction of every table and figure in the

@@ -181,6 +181,63 @@ func TestIntegrationDeterminism(t *testing.T) {
 	}
 }
 
+// The labeling phase's stats ledger must reconcile exactly with the
+// observable output: every candidate entering the phase is either labeled
+// into a cluster or emitted as an outlier, and the cluster mass grows by
+// exactly the labeled count. Regression test for the Labeled /
+// LabelCandidates counters (Unlabeled used to be the only observable).
+func TestIntegrationLabelingLedger(t *testing.T) {
+	d := rock.GenerateBasket(rock.BasketConfig{Transactions: 2500, Clusters: 5, TemplateItems: 15, TransactionSize: 10, Seed: 12})
+	for _, labelOutliers := range []bool{false, true} {
+		res, err := rock.ClusterDataset(d, rock.Config{
+			Theta: 0.4, K: 5, SampleSize: 600, MinNeighbors: 2, WeedAt: 0.2, Seed: 4,
+			LabelOutliers: labelOutliers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := res.Stats
+		if s.Labeled+s.Unlabeled != s.LabelCandidates {
+			t.Fatalf("labelOutliers=%v: Labeled %d + Unlabeled %d != LabelCandidates %d",
+				labelOutliers, s.Labeled, s.Unlabeled, s.LabelCandidates)
+		}
+		wantCandidates := s.N - s.Sampled
+		wantOutliers := s.Pruned + s.Weeded + s.Unlabeled
+		if labelOutliers {
+			// Pruned and weeded sample points re-enter as candidates…
+			wantCandidates += s.Pruned + s.Weeded
+			// …so the only terminal outliers are the unlabeled.
+			wantOutliers = s.Unlabeled
+		}
+		if s.LabelCandidates != wantCandidates {
+			t.Fatalf("labelOutliers=%v: LabelCandidates = %d, want %d (N %d, Sampled %d, Pruned %d, Weeded %d)",
+				labelOutliers, s.LabelCandidates, wantCandidates, s.N, s.Sampled, s.Pruned, s.Weeded)
+		}
+		if len(res.Outliers) != wantOutliers {
+			t.Fatalf("labelOutliers=%v: len(Outliers) = %d, want %d", labelOutliers, len(res.Outliers), wantOutliers)
+		}
+		clustered := 0
+		for _, members := range res.Clusters {
+			clustered += len(members)
+		}
+		// Cluster growth: the agglomerated sample mass plus exactly the
+		// labeled candidates.
+		sampleMass := s.Sampled - s.Pruned - s.Weeded
+		if clustered != sampleMass+s.Labeled {
+			t.Fatalf("labelOutliers=%v: clustered mass %d != sample mass %d + labeled %d",
+				labelOutliers, clustered, sampleMass, s.Labeled)
+		}
+		if clustered+len(res.Outliers) != s.N {
+			t.Fatalf("labelOutliers=%v: clustered %d + outliers %d != N %d",
+				labelOutliers, clustered, len(res.Outliers), s.N)
+		}
+		if s.LabelCandidates == 0 || s.Labeled == 0 {
+			t.Fatalf("labelOutliers=%v: degenerate fixture (candidates %d, labeled %d) — the ledger was not exercised",
+				labelOutliers, s.LabelCandidates, s.Labeled)
+		}
+	}
+}
+
 // The sampling + labeling pipeline degrades gracefully: a larger sample
 // never makes the clustering dramatically worse (E7's monotone trend, in
 // coarse form).

@@ -86,6 +86,17 @@ type Config struct {
 	// knob. Both engines produce byte-identical clusterings — the choice
 	// only trades constant factors.
 	MergeSerialBelow int
+	// LabelSerialBelow overrides the labeling-phase crossover: runs with
+	// fewer labeling candidates than this label on the serial loop,
+	// larger ones shard candidates across the workers. 0 picks the
+	// built-in crossover; negative forces sharding at every size.
+	// Workers <= 1 always takes the serial loop. Candidates are
+	// independent, so every path produces byte-identical assignments —
+	// the knob only trades constant factors. Independently of sharding,
+	// the labeler consults an inverted index over the labeled points for
+	// the built-in measures (exact — see label_indexed.go) and falls
+	// back to pairwise evaluation for custom Measure funcs.
+	LabelSerialBelow int
 
 	// TraceMerges records every merge step into Result.MergeTrace,
 	// turning the run into a dendrogram that CutTrace can cut at any
@@ -96,6 +107,12 @@ type Config struct {
 	// cluster through the L_i scoring instead of being discarded. The
 	// paper discards them; this is an extension.
 	LabelOutliers bool
+
+	// labelReference forces the labeling phase onto the serial pairwise
+	// reference loop (labelPoint). Unexported: reachable only from this
+	// package's oracle tests, which prove the indexed/parallel labeler
+	// byte-identical to it through the full pipeline.
+	labelReference bool
 }
 
 // withDefaults returns a copy with all optional fields populated.

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"github.com/rockclust/rock/internal/dataset"
+	"github.com/rockclust/rock/internal/similarity"
 )
 
 // Cluster output must be byte-identical for a fixed seed regardless of
@@ -23,6 +24,10 @@ func TestClusterDeterministicAcrossWorkers(t *testing.T) {
 		// builder even at this test's n, so link-phase parallelism is
 		// exercised, not just the neighbor phase.
 		{Theta: 0.5, K: 4, Seed: 13, LinkSerialBelow: -1, TraceMerges: true},
+		// LabelSerialBelow: -1 forces candidate sharding in the labeling
+		// phase even at this test's candidate count, so label-phase
+		// parallelism is exercised alongside sampling.
+		{Theta: 0.5, K: 4, Seed: 17, SampleSize: 120, LabelSerialBelow: -1, LabelOutliers: true},
 	}
 	for ci, base := range configs {
 		ts := randomTransactionsCore(r, 220, 7, 25)
@@ -56,6 +61,113 @@ func TestClusterDeterministicAcrossWorkers(t *testing.T) {
 			if !bytes.Equal(buf.Bytes(), refBytes) {
 				t.Fatalf("config %d: workers=%d serialized bytes differ from workers=%d",
 					ci, w, workerCounts[0])
+			}
+		}
+	}
+}
+
+// ChunkedCluster output must be byte-identical for a fixed seed
+// regardless of the worker count — the scale-out variant inherits every
+// parallel phase (neighbors, links, merges, labeling) through its
+// per-chunk and representative runs, and none may leak into results.
+func TestChunkedClusterDeterministicAcrossWorkers(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	configs := []ChunkedConfig{
+		{Base: Config{Theta: 0.5, K: 3, Seed: 5}, ChunkSize: 60},
+		{Base: Config{Theta: 0.4, K: 4, Seed: 11, MinNeighbors: 1}, ChunkSize: 45, ChunkK: 6, Reps: 3},
+		// Force the parallel link and label paths inside every sub-run.
+		{Base: Config{Theta: 0.5, K: 3, Seed: 23, LinkSerialBelow: -1, LabelSerialBelow: -1}, ChunkSize: 80},
+	}
+	for ci, base := range configs {
+		ts := randomTransactionsCore(r, 260, 6, 22)
+		var ref *Result
+		var refBytes []byte
+		for _, w := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+			cfg := base
+			cfg.Base.Workers = w
+			res, err := ChunkedCluster(ts, cfg)
+			if err != nil {
+				t.Fatalf("config %d workers %d: %v", ci, w, err)
+			}
+			var buf bytes.Buffer
+			if err := WriteResult(&buf, res); err != nil {
+				t.Fatalf("config %d workers %d: serialize: %v", ci, w, err)
+			}
+			if ref == nil {
+				ref, refBytes = res, buf.Bytes()
+				// Determinism: an identical rerun must match byte for byte.
+				rerun, err := ChunkedCluster(ts, cfg)
+				if err != nil {
+					t.Fatalf("config %d rerun: %v", ci, err)
+				}
+				var rbuf bytes.Buffer
+				if err := WriteResult(&rbuf, rerun); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(rbuf.Bytes(), refBytes) {
+					t.Fatalf("config %d: rerun with identical config differs", ci)
+				}
+				continue
+			}
+			if !reflect.DeepEqual(res.Assign, ref.Assign) ||
+				!reflect.DeepEqual(res.Clusters, ref.Clusters) ||
+				!reflect.DeepEqual(res.Outliers, ref.Outliers) {
+				t.Fatalf("config %d: workers=%d output differs structurally from workers=1", ci, w)
+			}
+			if !bytes.Equal(buf.Bytes(), refBytes) {
+				t.Fatalf("config %d: workers=%d serialized bytes differ from workers=1", ci, w)
+			}
+		}
+	}
+}
+
+// QRock output must be byte-identical for every worker count: its only
+// parallel phase is the indexed neighbor computation, which must not
+// reorder the union-find of components.
+func TestQRockDeterministicAcrossWorkers(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	configs := []QRockConfig{
+		{Theta: 0.5},
+		{Theta: 0.35, MinClusterSize: 3},
+		{Theta: 0.6, Measure: similarity.Dice},
+	}
+	for ci, base := range configs {
+		ts := randomTransactionsCore(r, 300, 6, 20)
+		var ref *Result
+		var refBytes []byte
+		for _, w := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+			cfg := base
+			cfg.Workers = w
+			res, err := QRock(ts, cfg)
+			if err != nil {
+				t.Fatalf("config %d workers %d: %v", ci, w, err)
+			}
+			var buf bytes.Buffer
+			if err := WriteResult(&buf, res); err != nil {
+				t.Fatalf("config %d workers %d: serialize: %v", ci, w, err)
+			}
+			if ref == nil {
+				ref, refBytes = res, buf.Bytes()
+				rerun, err := QRock(ts, cfg)
+				if err != nil {
+					t.Fatalf("config %d rerun: %v", ci, err)
+				}
+				var rbuf bytes.Buffer
+				if err := WriteResult(&rbuf, rerun); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(rbuf.Bytes(), refBytes) {
+					t.Fatalf("config %d: rerun with identical config differs", ci)
+				}
+				continue
+			}
+			if !reflect.DeepEqual(res.Assign, ref.Assign) ||
+				!reflect.DeepEqual(res.Clusters, ref.Clusters) ||
+				!reflect.DeepEqual(res.Outliers, ref.Outliers) {
+				t.Fatalf("config %d: workers=%d output differs structurally from workers=1", ci, w)
+			}
+			if !bytes.Equal(buf.Bytes(), refBytes) {
+				t.Fatalf("config %d: workers=%d serialized bytes differ from workers=1", ci, w)
 			}
 		}
 	}

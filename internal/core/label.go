@@ -40,6 +40,12 @@ func labelSets(clusters [][]int, cfg Config, rng *rand.Rand) [][]int {
 // neighbor in any L_i (an outlier with respect to the discovered
 // clusters). Ties break toward the smaller cluster index, keeping the
 // phase deterministic.
+//
+// This is the reference implementation, kept as the oracle fixture (the
+// label-phase counterpart of engine_reference.go): the pipeline labels
+// through the indexed, sharded labeler in label_indexed.go /
+// label_parallel.go, and the oracle tests prove that path byte-identical
+// to a serial loop of labelPoint over the candidates.
 func labelPoint(t dataset.Transaction, ts []dataset.Transaction, sets [][]int, theta, f float64, sim similarity.Measure) int {
 	best := -1
 	bestScore := 0.0

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"math"
+
+	"github.com/rockclust/rock/internal/dataset"
+	"github.com/rockclust/rock/internal/similarity"
+)
+
+// Indexed labeling.
+//
+// The reference labeler (labelPoint, kept in label.go as the oracle
+// fixture) evaluates the measure on every (candidate, labeled point)
+// pair: O(|candidates| × Σ|Lᵢ|) similarity calls, each a linear merge of
+// two transactions. This file replaces that with an inverted index over
+// the labeled points: one pass over a candidate's items accumulates the
+// intersection size c = |t ∩ q| for exactly the labeled points q sharing
+// an item with t, and the θ-test sim(t,q) ≥ θ is then decided from
+// (c, |t|, |q|) alone through the measure's CountedMeasure form.
+//
+// Exactness argument: every built-in measure (Jaccard, Dice, Cosine,
+// Overlap) is a pure function of those three numbers, and the counted
+// form IS the Measure's implementation (similarity/counted.go), so the
+// decision is bit-identical to the pairwise evaluation. Pairs the index
+// never touches have c = 0, where all four measures are ≤ 0 < θ — so for
+// θ > 0 skipping them cannot change any neighbor count. Custom Measure
+// funcs (similarity.Counted returns nil) and θ ≤ 0 (a disjoint pair is
+// then a neighbor) take the pairwise fallback automatically; the choice
+// never changes results, only cost.
+type labeler struct {
+	ts    []dataset.Transaction
+	sets  [][]int // L_i per cluster, dataset-global indices
+	theta float64
+	f     float64
+	sim   similarity.Measure
+
+	// denom[i] is (|L_i|+1)^f, hoisted out of the per-candidate loop.
+	// math.Pow is pure, so the hoist preserves the reference's bits.
+	denom []float64
+
+	// Indexed path (indexed == false ⇒ pairwise fallback).
+	indexed  bool
+	cm       similarity.CountedMeasure
+	ptGlobal []int32   // flattened labeled points: dataset index
+	ptSet    []int32   // flattened labeled points: owning cluster index
+	postings [][]int32 // item → flattened labeled-point ids holding it
+}
+
+// newLabeler prepares the labeling phase for the given cluster subsets.
+// A nil sim selects Jaccard, mirroring Config.withDefaults.
+func newLabeler(ts []dataset.Transaction, sets [][]int, theta, f float64, sim similarity.Measure) *labeler {
+	if sim == nil {
+		sim = similarity.Jaccard
+	}
+	lb := &labeler{ts: ts, sets: sets, theta: theta, f: f, sim: sim}
+	lb.denom = make([]float64, len(sets))
+	for i, li := range sets {
+		lb.denom[i] = math.Pow(float64(len(li)+1), f)
+	}
+	cm := similarity.Counted(sim)
+	if cm == nil || theta <= 0 {
+		return lb
+	}
+	lb.indexed = true
+	lb.cm = cm
+
+	npts := 0
+	for _, li := range sets {
+		npts += len(li)
+	}
+	lb.ptGlobal = make([]int32, 0, npts)
+	lb.ptSet = make([]int32, 0, npts)
+	nitems := 0
+	for i, li := range sets {
+		for _, q := range li {
+			lb.ptGlobal = append(lb.ptGlobal, int32(q))
+			lb.ptSet = append(lb.ptSet, int32(i))
+			for _, it := range ts[q] {
+				if int(it) >= nitems {
+					nitems = int(it) + 1
+				}
+			}
+		}
+	}
+	lb.postings = make([][]int32, nitems)
+	for pid, q := range lb.ptGlobal {
+		for _, it := range ts[q] {
+			lb.postings[it] = append(lb.postings[it], int32(pid))
+		}
+	}
+	return lb
+}
+
+// labelScratch is one worker's reusable per-candidate state: intersection
+// counters over the flattened labeled points and θ-neighbor counters over
+// the sets, each paired with a touched list so clearing costs O(touched),
+// not O(total).
+type labelScratch struct {
+	counts      []int32 // per flattened labeled point: |t ∩ q| so far
+	touched     []int32 // flattened ids with counts > 0
+	setN        []int32 // per set: θ-neighbors of the candidate found
+	touchedSets []int32 // sets with setN > 0
+}
+
+func (lb *labeler) newScratch() *labelScratch {
+	return &labelScratch{
+		counts:      make([]int32, len(lb.ptGlobal)),
+		touched:     make([]int32, 0, 256),
+		setN:        make([]int32, len(lb.sets)),
+		touchedSets: make([]int32, 0, len(lb.sets)),
+	}
+}
+
+// label assigns one candidate: the cluster index maximizing
+// N_i / (|L_i|+1)^f, ties toward the smaller index, or -1 when the
+// candidate has no θ-neighbor in any L_i.
+func (lb *labeler) label(t dataset.Transaction, sc *labelScratch) int {
+	if !lb.indexed {
+		return labelPoint(t, lb.ts, lb.sets, lb.theta, lb.f, lb.sim)
+	}
+	return lb.labelIndexed(t, sc)
+}
+
+// labelIndexed is the index-driven scoring pass for one candidate.
+func (lb *labeler) labelIndexed(t dataset.Transaction, sc *labelScratch) int {
+	// Accumulate |t ∩ q| for every labeled point q sharing an item.
+	// Items outside the postings range — above it, or negative (invalid
+	// per the data model, but the pairwise reference tolerates them in
+	// candidates) — occur in no labeled point and cannot contribute.
+	for _, it := range t {
+		if it < 0 || int(it) >= len(lb.postings) {
+			continue
+		}
+		for _, pid := range lb.postings[it] {
+			if sc.counts[pid] == 0 {
+				sc.touched = append(sc.touched, pid)
+			}
+			sc.counts[pid]++
+		}
+	}
+	// Threshold each touched pair from (c, |t|, |q|) and tally N_i.
+	for _, pid := range sc.touched {
+		c := sc.counts[pid]
+		sc.counts[pid] = 0
+		q := lb.ptGlobal[pid]
+		if lb.cm(int(c), len(t), len(lb.ts[q])) >= lb.theta {
+			si := lb.ptSet[pid]
+			if sc.setN[si] == 0 {
+				sc.touchedSets = append(sc.touchedSets, si)
+			}
+			sc.setN[si]++
+		}
+	}
+	sc.touched = sc.touched[:0]
+
+	// Argmax over the touched sets. The reference scans sets in ascending
+	// index with a strict >, keeping the smallest index on score ties;
+	// touchedSets is unordered, so the tie goes to the smaller index
+	// explicitly — same winner, since both paths compute identical
+	// score floats.
+	best := -1
+	bestScore := 0.0
+	for _, si := range sc.touchedSets {
+		score := float64(sc.setN[si]) / lb.denom[si]
+		sc.setN[si] = 0
+		i := int(si)
+		if best == -1 || score > bestScore || (score == bestScore && i < best) {
+			best, bestScore = i, score
+		}
+	}
+	sc.touchedSets = sc.touchedSets[:0]
+	return best
+}
+
+// labelCandidatesReference is the serial pairwise labeling loop — the
+// oracle fixture the indexed/parallel labeler is proven byte-identical
+// to, in the same role engine_reference.go plays for the merge phase.
+func labelCandidatesReference(ts []dataset.Transaction, candidates []int, sets [][]int, theta, f float64, sim similarity.Measure) []int {
+	if sim == nil {
+		sim = similarity.Jaccard
+	}
+	out := make([]int, len(candidates))
+	for i, p := range candidates {
+		out[i] = labelPoint(ts[p], ts, sets, theta, f, sim)
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/rockclust/rock/internal/dataset"
+)
+
+// Parallel labeling.
+//
+// Candidates are independent: each one's assignment reads only the
+// immutable index (or the transactions, on the pairwise fallback) and
+// writes its own slot of the output, so sharding them across workers
+// cannot reorder or change anything — output is byte-identical for every
+// worker count by construction, with no validation machinery needed.
+// Workers claim fixed-size chunks off an atomic cursor, so a candidate
+// with an expensive neighborhood doesn't stall a whole static shard.
+
+// DefaultLabelSerialBelow is the default crossover for the labeling
+// phase: below this many candidates the goroutine handoff costs more
+// than the sharded scan saves, so labeling runs on the serial loop.
+const DefaultLabelSerialBelow = 1024
+
+// labelChunk is the unit of work a worker claims at a time.
+const labelChunk = 64
+
+// run labels every candidate, returning the chosen cluster index (or -1)
+// per candidate in candidate order. workers and serialBelow follow the
+// link/merge-phase conventions: workers 0 = GOMAXPROCS, serialBelow 0 =
+// DefaultLabelSerialBelow, negative = always parallel. Workers ≤ 1
+// always takes the serial loop.
+func (lb *labeler) run(candidates []int, workers, serialBelow int) []int {
+	out := make([]int, len(candidates))
+	if len(candidates) == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if serialBelow == 0 {
+		serialBelow = DefaultLabelSerialBelow
+	}
+	if workers <= 1 || (serialBelow > 0 && len(candidates) < serialBelow) {
+		sc := lb.newScratch()
+		for i, p := range candidates {
+			out[i] = lb.label(lb.ts[p], sc)
+		}
+		return out
+	}
+
+	if workers > len(candidates) {
+		workers = len(candidates)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	work := func() {
+		defer wg.Done()
+		sc := lb.newScratch()
+		for {
+			lo := int(next.Add(labelChunk)) - labelChunk
+			if lo >= len(candidates) {
+				return
+			}
+			hi := lo + labelChunk
+			if hi > len(candidates) {
+				hi = len(candidates)
+			}
+			for i := lo; i < hi; i++ {
+				out[i] = lb.label(lb.ts[candidates[i]], sc)
+			}
+		}
+	}
+	wg.Add(workers)
+	for w := 1; w < workers; w++ {
+		go work()
+	}
+	work() // the coordinator participates, as in the merge phase
+	wg.Wait()
+	return out
+}
+
+// labelCandidates is the phase-6 entry point: builds the labeler (index
+// or fallback per the measure and θ) and shards the candidates per the
+// config. cfg must already carry defaults.
+func labelCandidates(ts []dataset.Transaction, candidates []int, sets [][]int, cfg Config) []int {
+	if cfg.labelReference {
+		return labelCandidatesReference(ts, candidates, sets, cfg.Theta, cfg.fval(), cfg.Measure)
+	}
+	return newLabeler(ts, sets, cfg.Theta, cfg.fval(), cfg.Measure).run(candidates, cfg.Workers, cfg.LabelSerialBelow)
+}
+
+// BenchLabelReference runs the serial pairwise reference labeler —
+// exported for the `rockbench -label` sweep and the Label benchmarks.
+func BenchLabelReference(ts []dataset.Transaction, candidates []int, sets [][]int, theta, f float64) []int {
+	return labelCandidatesReference(ts, candidates, sets, theta, f, nil)
+}
+
+// BenchLabelIndexed runs the indexed labeler on the serial path.
+func BenchLabelIndexed(ts []dataset.Transaction, candidates []int, sets [][]int, theta, f float64) []int {
+	return newLabeler(ts, sets, theta, f, nil).run(candidates, 1, 0)
+}
+
+// BenchLabelParallel runs the indexed labeler sharded across the given
+// worker count (forced past the serial crossover).
+func BenchLabelParallel(ts []dataset.Transaction, candidates []int, sets [][]int, theta, f float64, workers int) []int {
+	return newLabeler(ts, sets, theta, f, nil).run(candidates, workers, -1)
+}

@@ -39,18 +39,24 @@ type Result struct {
 // the paper's analysis (average/maximum neighbor-list size m_a and m_m,
 // link pairs, merge count).
 type Stats struct {
-	N             int     // input points
-	Sampled       int     // points in the clustered sample (== N when unsampled)
-	Pruned        int     // points dropped by the MinNeighbors filter
-	Weeded        int     // points dropped at the weeding checkpoint
-	Unlabeled     int     // out-of-sample points no cluster would accept
-	AvgNeighbors  float64 // m_a over the sample
-	MaxNeighbors  int     // m_m over the sample
-	LinkPairs     int     // undirected pairs with positive link count
-	Merges        int
-	StoppedEarly  bool // ran out of cross links before reaching K
-	ClustersFound int
-	FVal          float64 // the exponent f(θ) in effect
+	N       int // input points
+	Sampled int // points in the clustered sample (== N when unsampled)
+	Pruned  int // points dropped by the MinNeighbors filter
+	Weeded  int // points dropped at the weeding checkpoint
+	// The labeling phase's ledger: every candidate entering the phase is
+	// either labeled into a cluster or left unlabeled, so
+	// LabelCandidates == Labeled + Unlabeled always holds (all three are
+	// zero when no sample was drawn and LabelOutliers is off).
+	LabelCandidates int     // points entering the labeling phase
+	Labeled         int     // candidates assigned to a cluster by labeling
+	Unlabeled       int     // candidates no cluster would accept
+	AvgNeighbors    float64 // m_a over the sample
+	MaxNeighbors    int     // m_m over the sample
+	LinkPairs       int     // undirected pairs with positive link count
+	Merges          int
+	StoppedEarly    bool // ran out of cross links before reaching K
+	ClustersFound   int
+	FVal            float64 // the exponent f(θ) in effect
 }
 
 // K returns the number of clusters found.
@@ -177,7 +183,10 @@ func Cluster(ts []dataset.Transaction, cfg Config) (*Result, error) {
 	res.Stats.ClustersFound = len(res.Clusters)
 
 	// Phase 6: label the rest of the dataset (and, with LabelOutliers,
-	// the sample's pruned/weeded points) against cluster subsets.
+	// the sample's pruned/weeded points) against cluster subsets, on the
+	// inverted-index labeler sharded across cfg.Workers (pairwise
+	// fallback for custom measures; assignments byte-identical to the
+	// serial pairwise reference either way).
 	var candidates []int
 	if sampled {
 		inSample := make([]bool, n)
@@ -195,19 +204,22 @@ func Cluster(ts []dataset.Transaction, cfg Config) (*Result, error) {
 		res.Outliers = nil
 	}
 	sort.Ints(candidates)
+	res.Stats.LabelCandidates = len(candidates)
 	if len(candidates) > 0 {
 		if len(res.Clusters) == 0 {
 			res.Stats.Unlabeled += len(candidates)
 			res.Outliers = append(res.Outliers, candidates...)
 		} else {
 			sets := labelSets(res.Clusters, cfg, rng)
-			for _, p := range candidates {
-				ci := labelPoint(ts[p], ts, sets, cfg.Theta, cfg.fval(), cfg.Measure)
+			assign := labelCandidates(ts, candidates, sets, cfg)
+			for i, p := range candidates {
+				ci := assign[i]
 				if ci < 0 {
 					res.Stats.Unlabeled++
 					res.Outliers = append(res.Outliers, p)
 					continue
 				}
+				res.Stats.Labeled++
 				res.Assign[p] = ci
 				res.Clusters[ci] = append(res.Clusters[ci], p)
 			}

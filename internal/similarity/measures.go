@@ -9,53 +9,37 @@
 package similarity
 
 import (
-	"math"
-
 	"github.com/rockclust/rock/internal/dataset"
 )
 
 // Measure computes a similarity in [0,1] between two transactions.
 type Measure func(a, b dataset.Transaction) float64
 
+// The four built-ins delegate to their CountedMeasure forms (counted.go),
+// so index-driven paths that recover the intersection size from postings
+// compute bit-identical similarities to the pairwise evaluations here.
+
 // Jaccard returns |a ∩ b| / |a ∪ b|, the paper's similarity for
 // market-basket transactions. Two empty transactions are defined to have
 // similarity 0: an empty record supports no evidence of association.
 func Jaccard(a, b dataset.Transaction) float64 {
-	inter := a.IntersectSize(b)
-	union := len(a) + len(b) - inter
-	if union == 0 {
-		return 0
-	}
-	return float64(inter) / float64(union)
+	return countedJaccard(a.IntersectSize(b), len(a), len(b))
 }
 
 // Dice returns 2|a ∩ b| / (|a| + |b|).
 func Dice(a, b dataset.Transaction) float64 {
-	if len(a)+len(b) == 0 {
-		return 0
-	}
-	return 2 * float64(a.IntersectSize(b)) / float64(len(a)+len(b))
+	return countedDice(a.IntersectSize(b), len(a), len(b))
 }
 
 // Cosine returns |a ∩ b| / √(|a|·|b|), the cosine of the angle between the
 // transactions' binary vectors.
 func Cosine(a, b dataset.Transaction) float64 {
-	if len(a) == 0 || len(b) == 0 {
-		return 0
-	}
-	return float64(a.IntersectSize(b)) / math.Sqrt(float64(len(a))*float64(len(b)))
+	return countedCosine(a.IntersectSize(b), len(a), len(b))
 }
 
 // Overlap returns |a ∩ b| / min(|a|, |b|).
 func Overlap(a, b dataset.Transaction) float64 {
-	m := len(a)
-	if len(b) < m {
-		m = len(b)
-	}
-	if m == 0 {
-		return 0
-	}
-	return float64(a.IntersectSize(b)) / float64(m)
+	return countedOverlap(a.IntersectSize(b), len(a), len(b))
 }
 
 // Attribute returns the fraction of a fixed number of categorical

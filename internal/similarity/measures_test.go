@@ -132,3 +132,49 @@ func TestJaccardTriangle(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Every built-in measure's counted form must be the measure, bit for bit,
+// on (|a∩b|, |a|, |b|) — the premise that lets inverted-index paths
+// (neighbor phase, labeling phase) decide the θ-test without touching the
+// transactions. Custom functions and closures must not be claimed.
+func TestCountedFormsMatchMeasures(t *testing.T) {
+	builtins := []struct {
+		name string
+		m    Measure
+	}{
+		{"jaccard", Jaccard},
+		{"dice", Dice},
+		{"cosine", Cosine},
+		{"overlap", Overlap},
+	}
+	r := rand.New(rand.NewSource(2))
+	for _, tc := range builtins {
+		cm := Counted(tc.m)
+		if cm == nil {
+			t.Fatalf("Counted(%s) = nil for a built-in", tc.name)
+		}
+		for trial := 0; trial < 3000; trial++ {
+			a := randTrans(r, 15, 9)
+			b := randTrans(r, 15, 9)
+			if trial%50 == 0 {
+				a = dataset.Transaction{} // exercise the empty edge cases
+			}
+			want := tc.m(a, b)
+			got := cm(a.IntersectSize(b), len(a), len(b))
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("%s: counted form %v != measure %v on |a∩b|=%d |a|=%d |b|=%d",
+					tc.name, got, want, a.IntersectSize(b), len(a), len(b))
+			}
+		}
+	}
+	if Counted(nil) == nil {
+		t.Fatal("Counted(nil) must select Jaccard, mirroring Options.Measure")
+	}
+	if Counted(Attribute(5)) != nil {
+		t.Fatal("Counted claimed an Attribute closure")
+	}
+	custom := func(a, b dataset.Transaction) float64 { return 1 }
+	if Counted(custom) != nil {
+		t.Fatal("Counted claimed a custom measure")
+	}
+}

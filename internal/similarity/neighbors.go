@@ -143,10 +143,11 @@ func ComputeIndexed(ts []dataset.Transaction, theta float64, opts Options) *Neig
 		}
 	}
 
-	// With the default Jaccard measure the similarity follows directly
-	// from the accumulated intersection count — O(1) per candidate. A
+	// With a built-in measure the similarity follows directly from the
+	// accumulated intersection count — O(1) per candidate, bit-identical
+	// to the pairwise evaluation because both share one counted form. A
 	// custom Measure falls back to re-evaluating on the candidate pair.
-	jaccardFast := opts.Measure == nil
+	cm := Counted(opts.Measure)
 
 	nb := &Neighbors{Lists: make([][]int32, n)}
 	var wg sync.WaitGroup
@@ -178,12 +179,8 @@ func ComputeIndexed(ts []dataset.Transaction, theta float64, opts Options) *Neig
 						l = append(l, int32(i))
 					}
 					for _, j := range touched {
-						if jaccardFast {
-							// Same expression as Jaccard, so boundary
-							// rounding matches the brute-force path bit
-							// for bit.
-							union := float64(len(ts[i]) + len(ts[j]) - int(counts[j]))
-							if float64(counts[j])/union >= theta {
+						if cm != nil {
+							if cm(int(counts[j]), len(ts[i]), len(ts[j])) >= theta {
 								l = append(l, j)
 							}
 						} else if sim(ts[i], ts[int(j)]) >= theta {
