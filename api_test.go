@@ -2,6 +2,7 @@ package rock_test
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -101,6 +102,48 @@ func TestPublicGoodnessAndCriterion(t *testing.T) {
 	links := func(i, j int) int { return 1 }
 	if got := rock.Criterion([][]int{{0, 1}}, links, 0.5); got <= 0 {
 		t.Fatalf("Criterion = %g", got)
+	}
+}
+
+// The façade must support the full freeze → save → load → assign flow
+// with public names only, including the errors.Is sentinels.
+func TestPublicModelServing(t *testing.T) {
+	d := rock.GenerateBasket(rock.BasketConfig{Transactions: 400, Clusters: 4, Seed: 9})
+	cfg := rock.Config{Theta: 0.4, K: 4, Seed: 9}
+	res, err := rock.Cluster(d.Trans, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := rock.FreezeDataset(d, res, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := rock.LoadModel(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := m.AssignBatch(d.Trans, 1)
+	parallel := loaded.AssignBatch(d.Trans, 4)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("assignment %d diverges across save/load and worker counts", i)
+		}
+		if loaded.Assign(d.Trans[i]) != serial[i] {
+			t.Fatalf("Assign(%d) diverges from AssignBatch", i)
+		}
+	}
+	if loaded.K() != res.K() || loaded.MeasureName() != "jaccard" {
+		t.Fatalf("model metadata lost: %v", loaded)
+	}
+	if _, err := rock.LoadModel(strings.NewReader("not a model")); !errors.Is(err, rock.ErrModelTruncated) && !errors.Is(err, rock.ErrModelMagic) {
+		t.Fatalf("garbage load error not a sentinel: %v", err)
+	}
+	if _, err := rock.Freeze(d.Trans, res, rock.Config{Theta: 0.4, K: 4, Measure: func(a, b rock.Transaction) float64 { return 1 }}); err == nil {
+		t.Fatal("custom measure froze")
 	}
 }
 

@@ -6,6 +6,7 @@ package rock_test
 // paper-scale tables. Micro-benchmarks for the pipeline stages follow.
 
 import (
+	"bytes"
 	"io"
 	"runtime"
 	"strconv"
@@ -179,6 +180,92 @@ func BenchmarkLabelParallel(b *testing.B) {
 			})
 		}
 	}
+}
+
+// benchAssignFixture freezes a model from the labeling workload and
+// returns it with the out-of-sample points as queries — the serving
+// workload shared with the `rockbench -assign` sweep.
+func benchAssignFixture(b *testing.B, n int) (*rock.Model, []rock.Transaction) {
+	b.Helper()
+	ts, candidates, sets, err := expt.LabelFixture(n, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := core.FreezeSets(ts, sets, nil, 0.6, rock.MarketBasketF(0.6), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := make([]rock.Transaction, len(candidates))
+	for i, p := range candidates {
+		queries[i] = ts[p]
+	}
+	return m, queries
+}
+
+func BenchmarkAssignReference(b *testing.B) {
+	for _, n := range []int{2000, 10000} {
+		m, queries := benchAssignFixture(b, n)
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				core.BenchAssignReference(m, queries)
+			}
+		})
+	}
+}
+
+func BenchmarkAssign(b *testing.B) {
+	for _, n := range []int{2000, 10000} {
+		m, queries := benchAssignFixture(b, n)
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m.AssignBatch(queries, 1)
+			}
+		})
+	}
+}
+
+func BenchmarkAssignParallel(b *testing.B) {
+	workerCounts := []int{1, 2, 4}
+	if g := runtime.GOMAXPROCS(0); g != 1 && g != 2 && g != 4 {
+		workerCounts = append(workerCounts, g)
+	}
+	for _, n := range []int{2000, 10000} {
+		m, queries := benchAssignFixture(b, n)
+		for _, w := range workerCounts {
+			b.Run(sizeName(n)+"/workers="+strconv.Itoa(w), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					m.AssignBatch(queries, w)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkModelSaveLoad(b *testing.B) {
+	m, _ := benchAssignFixture(b, 2000)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("save", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := m.Save(io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("load", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.LoadModel(bytes.NewReader(buf.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func BenchmarkClusterPipeline(b *testing.B) {

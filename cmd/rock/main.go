@@ -6,6 +6,13 @@
 //
 //	rock -input votes.csv -label-col 0 -theta 0.73 -k 2
 //	rock -input baskets.txt -format basket -theta 0.5 -k 8 -sample 2000
+//
+// A clustering can be frozen into a servable model file and queried
+// later without re-clustering ("cluster once, serve forever"):
+//
+//	rock -input baskets.txt -format basket -theta 0.5 -k 8 -save model.rock
+//	rock -load model.rock                                  # inspect the model
+//	rock -load model.rock -assign -input new.txt -format basket
 package main
 
 import (
@@ -35,12 +42,15 @@ func main() {
 		members  = flag.Bool("members", false, "print cluster members")
 		topItems = flag.Int("top-items", 0, "print this many top items per cluster")
 		lsh      = flag.Bool("lsh", false, "approximate neighbors via MinHash LSH (large inputs)")
-		workers  = flag.Int("workers", 0, "goroutines for the neighbor, link, and merge phases (0 = GOMAXPROCS); results are identical for every value")
+		workers  = flag.Int("workers", 0, "goroutines for the neighbor, link, merge, labeling, and assign phases (0 = GOMAXPROCS); results are identical for every value")
 		maxRows  = flag.Int("max-rows", 40, "clusters shown in the summary table")
+		saveTo   = flag.String("save", "", "after clustering, freeze a servable model to this file")
+		loadFrom = flag.String("load", "", "load a frozen model instead of clustering (with -assign: label the input against it)")
+		assign   = flag.Bool("assign", false, "with -load: assign every input point through the model and print the distribution")
 	)
 	flag.Parse()
 
-	if err := run(*input, *format, rock.Config{
+	cfg := rock.Config{
 		Theta:        *theta,
 		K:            *k,
 		SampleSize:   *sample,
@@ -50,37 +60,119 @@ func main() {
 		Seed:         *seed,
 		LSHNeighbors: *lsh,
 		Workers:      *workers,
-	}, *labelCol, *nameCol, !*noHeader, *firstLab, *members, *topItems, *maxRows); err != nil {
+	}
+	var err error
+	switch {
+	case *assign && *loadFrom == "":
+		err = fmt.Errorf("-assign needs -load: there is no model to assign through")
+	case *loadFrom != "" && *saveTo != "":
+		err = fmt.Errorf("-save conflicts with -load: a loaded model is already frozen (clustering, which -save would freeze, does not run)")
+	case *loadFrom != "":
+		err = runModel(*loadFrom, *assign, *input, *format, *workers, *labelCol, *nameCol, !*noHeader, *firstLab, *members, *maxRows)
+	default:
+		err = run(*input, *format, cfg, *saveTo, *labelCol, *nameCol, !*noHeader, *firstLab, *members, *topItems, *maxRows)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "rock:", err)
 		os.Exit(1)
 	}
 }
 
-func run(input, format string, cfg rock.Config, labelCol, nameCol int, header, firstLab, members bool, topItems, maxRows int) error {
+// readInput parses the input dataset per the -format flag.
+func readInput(input, format string, labelCol, nameCol int, header, firstLab bool) (*rock.Dataset, error) {
 	var in io.Reader = os.Stdin
 	if input != "" {
 		f, err := os.Open(input)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		defer f.Close()
 		in = f
 	}
-
-	var d *rock.Dataset
-	var err error
 	switch format {
 	case "csv":
 		opts := rock.DefaultCSVOptions()
 		opts.HasHeader = header
 		opts.LabelCol = labelCol
 		opts.NameCol = nameCol
-		d, err = rock.ReadCSV(in, opts)
+		return rock.ReadCSV(in, opts)
 	case "basket":
-		d, err = rock.ReadBasket(in, rock.BasketOptions{FirstTokenIsLabel: firstLab, Comment: '#'})
+		return rock.ReadBasket(in, rock.BasketOptions{FirstTokenIsLabel: firstLab, Comment: '#'})
 	default:
-		return fmt.Errorf("unknown format %q (want csv or basket)", format)
+		return nil, fmt.Errorf("unknown format %q (want csv or basket)", format)
 	}
+}
+
+// runModel is the -load path: print the model, and with -assign label the
+// input dataset through it.
+func runModel(path string, assign bool, input, format string, workers, labelCol, nameCol int, header, firstLab, members bool, maxRows int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	m, err := rock.LoadModel(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	fmt.Println(m)
+	if !assign {
+		sizes := m.ClusterSizes()
+		for ci, sz := range sizes {
+			if ci >= maxRows {
+				fmt.Printf("... %d more clusters\n", len(sizes)-maxRows)
+				break
+			}
+			fmt.Printf("cluster %d: frozen-size=%d\n", ci, sz)
+		}
+		return nil
+	}
+
+	d, err := readInput(input, format, labelCol, nameCol, header, firstLab)
+	if err != nil {
+		return err
+	}
+	assigned, err := m.AssignDataset(d, workers)
+	if err != nil {
+		return err
+	}
+	byCluster := make([][]int, m.K())
+	outliers := 0
+	for p, ci := range assigned {
+		if ci < 0 {
+			outliers++
+		} else {
+			byCluster[ci] = append(byCluster[ci], p)
+		}
+	}
+	fmt.Printf("assigned %d points: %d matched a cluster, %d outliers\n",
+		len(assigned), len(assigned)-outliers, outliers)
+	for ci, ms := range byCluster {
+		if ci >= maxRows {
+			fmt.Printf("... %d more clusters\n", m.K()-maxRows)
+			break
+		}
+		fmt.Printf("cluster %d: assigned=%d\n", ci, len(ms))
+		if members {
+			for _, p := range ms {
+				name := fmt.Sprintf("#%d", p)
+				if d.Names != nil {
+					name = d.Names[p]
+				}
+				fmt.Printf("  %s\n", name)
+			}
+		}
+	}
+	if d.Labels != nil {
+		ev := rock.Evaluate(assigned, d.Labels)
+		fmt.Printf("accuracy r=%.4f error e=%.4f ace=%d ARI=%.4f NMI=%.4f\n",
+			ev.Accuracy, ev.Error, ev.AbsoluteError, ev.ARI, ev.NMI)
+	}
+	return nil
+}
+
+func run(input, format string, cfg rock.Config, saveTo string, labelCol, nameCol int, header, firstLab, members bool, topItems, maxRows int) error {
+	d, err := readInput(input, format, labelCol, nameCol, header, firstLab)
 	if err != nil {
 		return err
 	}
@@ -88,6 +180,25 @@ func run(input, format string, cfg rock.Config, labelCol, nameCol int, header, f
 	res, err := rock.ClusterDataset(d, cfg)
 	if err != nil {
 		return err
+	}
+
+	if saveTo != "" {
+		m, err := rock.FreezeDataset(d, res, cfg)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(saveTo)
+		if err != nil {
+			return err
+		}
+		if err := m.Save(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "rock: froze %s to %s\n", m, saveTo)
 	}
 
 	fmt.Printf("points=%d clusters=%d outliers=%d merges=%d m_a=%.1f link-pairs=%d\n",

@@ -9,6 +9,7 @@
 //	rockbench -links       # serial-vs-parallel link sweep → BENCH_links.json
 //	rockbench -merge       # map-vs-arena agglomeration sweep → BENCH_merge.json
 //	rockbench -label       # pairwise-vs-indexed labeling sweep → BENCH_label.json
+//	rockbench -assign      # frozen-model serving sweep → BENCH_assign.json
 package main
 
 import (
@@ -22,13 +23,14 @@ import (
 
 func main() {
 	var (
-		quick = flag.Bool("quick", false, "shrink dataset sizes and sweeps")
-		seed  = flag.Int64("seed", 0, "base seed for all generators")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
-		out   = flag.String("out", "", "write reports to this file instead of stdout")
-		links = flag.Bool("links", false, "run the serial-vs-parallel link builder sweep and write BENCH_links.json (or -out)")
-		merge = flag.Bool("merge", false, "run the agglomeration engine sweep (map vs arena vs batched-parallel) and write BENCH_merge.json (or -out)")
-		label = flag.Bool("label", false, "run the labeling sweep (pairwise reference vs indexed vs sharded) and write BENCH_label.json (or -out)")
+		quick  = flag.Bool("quick", false, "shrink dataset sizes and sweeps")
+		seed   = flag.Int64("seed", 0, "base seed for all generators")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		out    = flag.String("out", "", "write reports to this file instead of stdout")
+		links  = flag.Bool("links", false, "run the serial-vs-parallel link builder sweep and write BENCH_links.json (or -out)")
+		merge  = flag.Bool("merge", false, "run the agglomeration engine sweep (map vs arena vs batched-parallel) and write BENCH_merge.json (or -out)")
+		label  = flag.Bool("label", false, "run the labeling sweep (pairwise reference vs indexed vs sharded) and write BENCH_label.json (or -out)")
+		assign = flag.Bool("assign", false, "run the frozen-model serving sweep (pairwise reference vs Model.Assign/AssignBatch + save/load cost) and write BENCH_assign.json (or -out)")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -50,6 +52,10 @@ func main() {
 	}
 	if *label {
 		runSweep(*out, "BENCH_label.json", *quick, *seed, expt.BenchLabel)
+		return
+	}
+	if *assign {
+		runSweep(*out, "BENCH_assign.json", *quick, *seed, expt.BenchAssign)
 		return
 	}
 
@@ -86,13 +92,16 @@ func usage() {
 
 Regenerates the tables and figures of the paper's evaluation (E1..E8) and
 the repo's ablations (A1..A6) on the synthetic stand-in datasets, plus
-the performance-trajectory records:
+the performance-trajectory records — one bench mode per record:
 
   -links   serial-vs-parallel link builder sweep   → BENCH_links.json
   -merge   agglomeration engine sweep              → BENCH_merge.json
            (map reference vs serial arena vs parallel batched rounds)
   -label   labeling-phase sweep                    → BENCH_label.json
            (pairwise reference vs inverted-index vs sharded workers)
+  -assign  frozen-model serving sweep              → BENCH_assign.json
+           (pairwise reference vs Model.Assign/AssignBatch, plus the
+           model file's size and save/load cost)
 
 With no flags and no ids, every experiment runs at paper scale to stdout.
 
@@ -107,8 +116,8 @@ when GOMAXPROCS exceeds one. On a single-CPU host the worker goroutines
 serialize, so the recorded "parallel" columns show only the algorithmic
 differences (array counting vs map inserts for links; round-level heap
 repair for merges; inverted-index counting vs pairwise similarity for
-labeling). Regenerate on a multi-core host to capture the scaling
-curve; the current GOMAXPROCS is recorded in each file.
+labeling and model serving). Regenerate on a multi-core host to capture
+the scaling curve; the current GOMAXPROCS is recorded in each file.
 `)
 }
 

@@ -4,11 +4,12 @@
 // substrates a practitioner needs around it: transaction and categorical
 // record data models with CSV/basket IO, similarity measures and
 // θ-neighbor computation, link tables, Chernoff-bound sampling and
-// out-of-sample labeling, outlier handling, the QROCK
-// connected-components variant, evaluation metrics (clustering accuracy,
-// ARI, NMI), reference baselines (centroid/average/single/complete
-// hierarchical clustering and k-modes), the STIRR dynamical system with
-// its convergence-guaranteed revision, and deterministic synthetic data
+// out-of-sample labeling, frozen servable models with a persistent
+// binary format, outlier handling, the QROCK connected-components
+// variant, evaluation metrics (clustering accuracy, ARI, NMI), reference
+// baselines (centroid/average/single/complete hierarchical clustering
+// and k-modes), the STIRR dynamical system with its
+// convergence-guaranteed revision, and deterministic synthetic data
 // generators mirroring the paper's evaluation datasets.
 //
 // # Quick start
@@ -30,63 +31,28 @@
 //
 // # Performance
 //
-// All four hot phases parallelize under Config.Workers (0 means
-// GOMAXPROCS): θ-neighbor computation shards rows across goroutines;
-// link computation — the paper's O(Σ mᵢ²) bottleneck — runs as sharded
-// row-wise pair counting that assembles a compressed-sparse-row (CSR)
-// link table directly, with no intermediate hash maps; the merge phase
-// runs parallel batched merge rounds (below); and the labeling phase
-// counts each candidate's θ-neighbors through an inverted index over
-// the labeled points, sharding candidates across the workers. CSR row
-// offsets are int64, so the table indexes exactly past 2^31 total link
-// entries. Small inputs automatically take the serial paths
-// (Config.LinkSerialBelow, Config.MergeSerialBelow and
-// Config.LabelSerialBelow tune the crossovers); results are
-// byte-identical for every worker count and every path.
-// `cmd/rockbench -links` records the serial-vs-parallel link sweep in
-// BENCH_links.json.
+// Every heavy phase — θ-neighbors, link computation, merging, labeling —
+// parallelizes under Config.Workers (0 means GOMAXPROCS) and produces
+// output byte-identical to its retained serial reference at every worker
+// count, enforced by randomized oracle tests under the race detector.
+// Small inputs take the serial paths automatically; Config's
+// LinkSerialBelow, MergeSerialBelow and LabelSerialBelow tune the
+// crossovers, trading only constant factors, never results.
+// ARCHITECTURE.md is the authoritative description of the machinery (the
+// CSR link table, the arena and batched merge engines, the labeling
+// index, the oracle discipline), and cmd/rockbench regenerates the
+// BENCH_*.json performance records alongside every table and figure of
+// the paper's evaluation.
 //
-// The agglomeration phase — the paper's O(n² log n) merge loop — runs on
-// an arena engine: clusters live in flat slots (a merge reuses one
-// parent's slot), members chain through an intrusive linked list,
-// per-cluster links are sorted rows merged by a two-pointer pass into
-// pooled buffers, and the per-cluster heaps collapse into one cached
-// best-partner per cluster under a single lazy indexed heap that
-// discards superseded entries on pop. The hot loop performs no hashing
-// and almost no allocation (~90× fewer allocations than the map-based
-// reference engine at n=10k, ~3.5× faster end-to-end).
+// # Serving
 //
-// With Workers > 1 the arena's merges execute in batched rounds: each
-// round selects a conflict-free prefix of the heap's pop order — merges
-// whose closed neighborhoods are disjoint — computes and commits them
-// concurrently, and repairs the heap once. A validation step truncates
-// any batch the serial engine would have ordered differently (goodness
-// is not monotone under merging), so every round is provably a prefix of
-// the serial merge sequence. The invariant across all engines: output —
-// clusters, outliers, merge counts, and the full merge trace — is
-// byte-identical to the reference engine kept in
-// internal/core/engine_reference.go, enforced by a randomized oracle
-// test across configurations and worker counts under the race detector.
-// `cmd/rockbench -merge` records the map-vs-arena-vs-batched sweep in
-// BENCH_merge.json.
+// A clustering run can be frozen into a Model: an immutable,
+// goroutine-safe snapshot of the labeling phase that persists to a
+// versioned, checksummed binary file (Model.Save / LoadModel) and serves
+// Assign / AssignBatch / AssignDataset queries in any later process,
+// bit-identically to the pipeline's labeling — "cluster once, serve
+// forever". See Freeze, FreezeDataset, and the Model examples; the file
+// format is documented in ARCHITECTURE.md.
 //
-// The labeling phase (Config.SampleSize set: assign every out-of-sample
-// point to the cluster maximizing Nᵢ/(|Lᵢ|+1)^f) follows the same
-// discipline. An inverted index over the labeled points yields each
-// candidate's intersection sizes in one pass over its items, and the
-// θ-test is decided exactly from (|t∩q|, |t|, |q|) — every built-in
-// measure is a pure function of those three numbers, computed by the
-// very same counted form the pairwise measure delegates to, so the
-// index path is bit-identical to pairwise evaluation; custom Measure
-// funcs and θ ≤ 0 fall back to the pairwise loop automatically.
-// Candidates are independent, so they shard across the workers with
-// byte-identical output by construction. The serial pairwise loop is
-// kept as the oracle fixture (internal/core/label.go), and
-// Result.Stats carries the phase's ledger (LabelCandidates == Labeled
-// + Unlabeled). `cmd/rockbench -label` records the pairwise-vs-indexed
-// sweep in BENCH_label.json.
-//
-// See README.md for the architecture tour and benchmark tables, and
-// cmd/rockbench for the reproduction of every table and figure in the
-// paper's evaluation.
+// See README.md for the tour and benchmark tables.
 package rock

@@ -1,0 +1,81 @@
+package rock_test
+
+import (
+	"fmt"
+	"go/format"
+	"os"
+	"strings"
+	"testing"
+)
+
+// docFenceFiles are the documents whose ```go fences the lint guards.
+var docFenceFiles = []string{"README.md", "ARCHITECTURE.md"}
+
+// goFences extracts the contents of every ```go fence, with the line
+// number the fence opened on.
+func goFences(doc string) []struct {
+	line int
+	code string
+} {
+	var out []struct {
+		line int
+		code string
+	}
+	lines := strings.Split(doc, "\n")
+	for i := 0; i < len(lines); i++ {
+		if strings.TrimSpace(lines[i]) != "```go" {
+			continue
+		}
+		start := i + 1
+		var body []string
+		for i++; i < len(lines) && strings.TrimSpace(lines[i]) != "```"; i++ {
+			body = append(body, lines[i])
+		}
+		out = append(out, struct {
+			line int
+			code string
+		}{start, strings.Join(body, "\n") + "\n"})
+	}
+	return out
+}
+
+// TestDocFencesGofmt is the doc-health lint CI runs: every Go code fence
+// in README.md and ARCHITECTURE.md must parse as Go (a source file, or a
+// list of declarations or statements) and already be in gofmt form —
+// documentation examples are not allowed to rot into pseudo-code.
+func TestDocFencesGofmt(t *testing.T) {
+	for _, file := range docFenceFiles {
+		doc, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		fences := goFences(string(doc))
+		if file == "README.md" && len(fences) == 0 {
+			t.Errorf("%s: no ```go fences found — the quick start should have at least one", file)
+		}
+		for _, f := range fences {
+			formatted, err := format.Source([]byte(f.code))
+			if err != nil {
+				t.Errorf("%s: fence at line %d is not valid Go: %v\n%s", file, f.line, err, f.code)
+				continue
+			}
+			if string(formatted) != f.code {
+				t.Errorf("%s: fence at line %d is not gofmt-clean; want:\n%s\ngot:\n%s",
+					file, f.line, formatted, f.code)
+			}
+		}
+	}
+}
+
+// TestDocFenceExtractor pins the extractor itself, so a silent zero-fence
+// pass cannot hide a broken scanner.
+func TestDocFenceExtractor(t *testing.T) {
+	doc := "x\n```go\na := 1\n```\ntext\n```\nnot go\n```\n```go\nb := 2\n```\n"
+	fences := goFences(doc)
+	if len(fences) != 2 {
+		t.Fatalf("extracted %d fences, want 2", len(fences))
+	}
+	if fences[0].code != "a := 1\n" || fences[1].code != "b := 2\n" {
+		t.Fatalf("wrong fence contents: %q", fmt.Sprint(fences))
+	}
+}

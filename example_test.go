@@ -1,6 +1,7 @@
 package rock_test
 
 import (
+	"bytes"
 	"fmt"
 	"reflect"
 	"strings"
@@ -97,6 +98,79 @@ func ExampleConfig_sampling() {
 		res.Stats.Sampled, res.Stats.N, res.K(), assigned)
 	// Output:
 	// sampled 500 of 2000; 4 clusters; 2000 points assigned
+}
+
+// ExampleModel_assign freezes a clustering run into an immutable Model
+// and serves assignment queries from it. Assign is goroutine-safe and
+// bit-identical to the pipeline's labeling phase over the frozen
+// subsets; AssignBatch shards queries across workers with byte-identical
+// output for every worker count.
+func ExampleModel_assign() {
+	d := rock.GenerateBasket(rock.BasketConfig{
+		Transactions:    1000,
+		Clusters:        4,
+		TemplateItems:   15,
+		TransactionSize: 12,
+		Seed:            3,
+	})
+	cfg := rock.Config{Theta: 0.3, K: 4, Seed: 3}
+	res, err := rock.Cluster(d.Trans, cfg)
+	if err != nil {
+		panic(err)
+	}
+	model, err := rock.Freeze(d.Trans, res, cfg)
+	if err != nil {
+		panic(err)
+	}
+	assign := model.AssignBatch(d.Trans, 4) // any worker count: same output
+	agree := 0
+	for i, ci := range assign {
+		if ci == res.Assign[i] {
+			agree++
+		}
+	}
+	fmt.Printf("model: k=%d labeled-points=%d\n", model.K(), model.LabeledPoints())
+	fmt.Printf("%d of %d points assigned to their original cluster\n", agree, len(assign))
+	// Output:
+	// model: k=4 labeled-points=200
+	// 1000 of 1000 points assigned to their original cluster
+}
+
+// ExampleModel_saveLoad persists a frozen model and reloads it in what
+// could be another process: the file is versioned and checksummed, the
+// round trip is byte-identical, and the loaded model answers queries
+// exactly as the original — "cluster once, serve forever".
+func ExampleModel_saveLoad() {
+	d := rock.GenerateBasket(rock.BasketConfig{
+		Transactions: 500,
+		Clusters:     3,
+		Seed:         4,
+	})
+	cfg := rock.Config{Theta: 0.35, K: 3, Seed: 4}
+	res, err := rock.Cluster(d.Trans, cfg)
+	if err != nil {
+		panic(err)
+	}
+	// FreezeDataset also freezes the vocabulary, so a later process can
+	// assign datasets read under their own vocabularies (AssignDataset).
+	model, err := rock.FreezeDataset(d, res, cfg)
+	if err != nil {
+		panic(err)
+	}
+	var file bytes.Buffer // stands in for the model file on disk
+	if err := model.Save(&file); err != nil {
+		panic(err)
+	}
+	loaded, err := rock.LoadModel(&file)
+	if err != nil {
+		panic(err)
+	}
+	same := reflect.DeepEqual(model.AssignBatch(d.Trans, 1), loaded.AssignBatch(d.Trans, 2))
+	fmt.Printf("reloaded: k=%d measure=%s\n", loaded.K(), loaded.MeasureName())
+	fmt.Printf("identical assignments after the round trip: %v\n", same)
+	// Output:
+	// reloaded: k=3 measure=jaccard
+	// identical assignments after the round trip: true
 }
 
 // ExampleConfig_workers runs the same clustering serially and with every

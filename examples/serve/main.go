@@ -1,0 +1,137 @@
+// Serve: cluster once, freeze the run into a model file, then serve
+// assignment queries from the frozen model — concurrently, without ever
+// re-clustering. This is the paper's "cluster a sample, label the rest"
+// scaling story turned into a persistable serving artifact.
+//
+//	go run ./examples/serve
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"github.com/rockclust/rock"
+)
+
+func main() {
+	// A synthetic "historical" basket log: the expensive, once-per-deploy
+	// part. Cluster a Chernoff-sized sample; the labeling phase assigns
+	// the rest.
+	history := rock.GenerateBasket(rock.BasketConfig{
+		Transactions:    20000,
+		Clusters:        8,
+		TemplateItems:   15,
+		TransactionSize: 12,
+		Seed:            1,
+	})
+	sample := rock.ChernoffSampleSize(history.Len(), history.Len()/8, 0.25, 0.001)
+	cfg := rock.Config{
+		Theta:      0.5,
+		K:          8,
+		SampleSize: sample,
+		Seed:       1,
+		Workers:    0,
+		// The paper's outlier devices keep noise fragments from becoming
+		// clusters of their own.
+		MinNeighbors: 2,
+		WeedAt:       0.1,
+		WeedMaxSize:  20,
+	}
+	res, err := rock.Cluster(history.Trans, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("clustered: %d points, sample=%d, k=%d, %d labeled in phase 6\n",
+		res.Stats.N, res.Stats.Sampled, res.K(), res.Stats.Labeled)
+
+	// Freeze the run. FreezeDataset also freezes the vocabulary, so a
+	// later process can assign inputs read under their own vocabularies.
+	model, err := rock.FreezeDataset(history, res, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	path := filepath.Join(os.TempDir(), "serve-example.rock")
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := model.Save(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	info, _ := os.Stat(path)
+	fmt.Printf("frozen: %v (%d bytes at %s)\n", model, info.Size(), path)
+
+	// ...time passes; a serving process starts and loads the model. The
+	// file is versioned and checksummed — a corrupted or incompatible
+	// model fails loudly at load, never silently at query time.
+	g, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	served, err := rock.LoadModel(g)
+	g.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Serve "live traffic": many goroutines querying one shared model.
+	// The traffic was generated under its own vocabulary (a different
+	// seed interns items in a different order), so it is translated into
+	// the model's frozen id space by item name first — the once-per-
+	// ingest step; RemapDataset errors if the model froze no vocabulary.
+	// After that, Assign is goroutine-safe and bit-identical to the
+	// pipeline's labeling phase over the frozen subsets.
+	traffic := rock.GenerateBasket(rock.BasketConfig{
+		Transactions:    8000,
+		Clusters:        8,
+		TemplateItems:   15,
+		TransactionSize: 12,
+		Seed:            99, // unseen data
+	})
+	queries, err := served.RemapDataset(traffic)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	counts := make([]int, served.K()+1) // last slot: outliers
+	var mu sync.Mutex
+	const handlers = 8
+	per := len(queries) / handlers
+	for h := 0; h < handlers; h++ {
+		lo, hi := h*per, (h+1)*per
+		if h == handlers-1 {
+			hi = len(queries)
+		}
+		wg.Add(1)
+		go func(batch []rock.Transaction) {
+			defer wg.Done()
+			local := make([]int, served.K()+1)
+			for _, t := range batch {
+				if ci := served.Assign(t); ci >= 0 {
+					local[ci]++
+				} else {
+					local[served.K()]++
+				}
+			}
+			mu.Lock()
+			for i, n := range local {
+				counts[i] += n
+			}
+			mu.Unlock()
+		}(queries[lo:hi])
+	}
+	wg.Wait()
+
+	fmt.Printf("served %d queries across %d handlers:\n", len(queries), handlers)
+	for ci := 0; ci < served.K(); ci++ {
+		fmt.Printf("  cluster %d: %d\n", ci, counts[ci])
+	}
+	fmt.Printf("  outliers: %d\n", counts[served.K()])
+	os.Remove(path)
+}

@@ -32,45 +32,59 @@ const labelChunk = 64
 // DefaultLabelSerialBelow, negative = always parallel. Workers ≤ 1
 // always takes the serial loop.
 func (lb *labeler) run(candidates []int, workers, serialBelow int) []int {
-	out := make([]int, len(candidates))
-	if len(candidates) == 0 {
+	if serialBelow == 0 {
+		serialBelow = DefaultLabelSerialBelow
+	}
+	return lb.runEach(len(candidates), func(i int) dataset.Transaction { return lb.ts[candidates[i]] },
+		workers, serialBelow, lb.newScratch, func(*labelScratch) {})
+}
+
+// runEach is the sharded assignment loop shared by the labeling phase
+// and Model.AssignBatch: query i's transaction comes from at(i), its
+// assignment lands in slot i of the result. get/put bracket each
+// worker's scratch (the model routes them through its pool; the
+// pipeline allocates fresh per worker). workers ≤ 1, or n below a
+// positive serialBelow, takes the serial loop; either way the output is
+// byte-identical, queries being independent.
+func (lb *labeler) runEach(n int, at func(int) dataset.Transaction, workers, serialBelow int, get func() *labelScratch, put func(*labelScratch)) []int {
+	out := make([]int, n)
+	if n == 0 {
 		return out
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if serialBelow == 0 {
-		serialBelow = DefaultLabelSerialBelow
+	if workers > n {
+		workers = n
 	}
-	if workers <= 1 || (serialBelow > 0 && len(candidates) < serialBelow) {
-		sc := lb.newScratch()
-		for i, p := range candidates {
-			out[i] = lb.label(lb.ts[p], sc)
+	if workers <= 1 || (serialBelow > 0 && n < serialBelow) {
+		sc := get()
+		for i := range out {
+			out[i] = lb.label(at(i), sc)
 		}
+		put(sc)
 		return out
 	}
 
-	if workers > len(candidates) {
-		workers = len(candidates)
-	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	work := func() {
 		defer wg.Done()
-		sc := lb.newScratch()
+		sc := get()
 		for {
 			lo := int(next.Add(labelChunk)) - labelChunk
-			if lo >= len(candidates) {
-				return
+			if lo >= n {
+				break
 			}
 			hi := lo + labelChunk
-			if hi > len(candidates) {
-				hi = len(candidates)
+			if hi > n {
+				hi = n
 			}
 			for i := lo; i < hi; i++ {
-				out[i] = lb.label(lb.ts[candidates[i]], sc)
+				out[i] = lb.label(at(i), sc)
 			}
 		}
+		put(sc)
 	}
 	wg.Add(workers)
 	for w := 1; w < workers; w++ {

@@ -32,7 +32,13 @@ type Result struct {
 	MergeTrace []MergeStep
 	// TracePoints maps trace singleton ids to input indices.
 	TracePoints []int
-	Stats       Stats
+	// LabelSets records the labeled subsets L_i the labeling phase drew
+	// (one per cluster, dataset-global indices into the clustered
+	// sample), or nil when no labeling pass ran. Freeze reuses them, so
+	// a model frozen from a sampled run reproduces that run's labeling
+	// exactly.
+	LabelSets [][]int
+	Stats     Stats
 }
 
 // Stats reports what happened during a run, mirroring the quantities in
@@ -211,6 +217,7 @@ func Cluster(ts []dataset.Transaction, cfg Config) (*Result, error) {
 			res.Outliers = append(res.Outliers, candidates...)
 		} else {
 			sets := labelSets(res.Clusters, cfg, rng)
+			res.LabelSets = sets
 			assign := labelCandidates(ts, candidates, sets, cfg)
 			for i, p := range candidates {
 				ci := assign[i]

@@ -1,0 +1,53 @@
+package similarity
+
+import "reflect"
+
+// Measure names — the stable identifiers a frozen model file records so a
+// later process can reconstruct the exact similarity it was built with.
+// Only the built-in counted measures have names: a custom Measure func
+// cannot be serialized, and Name returning "" is how callers detect that.
+const (
+	NameJaccard = "jaccard"
+	NameDice    = "dice"
+	NameCosine  = "cosine"
+	NameOverlap = "overlap"
+)
+
+// Name returns the canonical name of a built-in measure, or "" for any
+// other function. nil names Jaccard, matching Options.Measure and
+// Config.Measure defaulting. Like Counted, identification compares
+// function code pointers, so only this package's top-level functions
+// match; closures such as Attribute(n) never do.
+func Name(m Measure) string {
+	if m == nil {
+		return NameJaccard
+	}
+	switch reflect.ValueOf(m).Pointer() {
+	case reflect.ValueOf(Jaccard).Pointer():
+		return NameJaccard
+	case reflect.ValueOf(Dice).Pointer():
+		return NameDice
+	case reflect.ValueOf(Cosine).Pointer():
+		return NameCosine
+	case reflect.ValueOf(Overlap).Pointer():
+		return NameOverlap
+	}
+	return ""
+}
+
+// ByName returns the built-in measure with the given canonical name, or
+// nil when the name is unknown. ByName(Name(m)) == m for every built-in
+// measure, which is what makes the round trip through a model file exact.
+func ByName(name string) Measure {
+	switch name {
+	case NameJaccard:
+		return Jaccard
+	case NameDice:
+		return Dice
+	case NameCosine:
+		return Cosine
+	case NameOverlap:
+		return Overlap
+	}
+	return nil
+}

@@ -1,0 +1,27 @@
+package similarity
+
+import "testing"
+
+// Name/ByName must round-trip every built-in measure and reject
+// everything else — the property the model file format leans on.
+func TestMeasureNames(t *testing.T) {
+	for _, m := range []Measure{Jaccard, Dice, Cosine, Overlap} {
+		name := Name(m)
+		if name == "" {
+			t.Fatal("built-in measure has no name")
+		}
+		back := ByName(name)
+		if back == nil || Name(back) != name {
+			t.Fatalf("ByName(%q) does not round-trip", name)
+		}
+	}
+	if Name(nil) != NameJaccard {
+		t.Fatal("nil must name Jaccard, matching Config defaulting")
+	}
+	if Name(Attribute(4)) != "" {
+		t.Fatal("closures must have no name — they cannot be serialized")
+	}
+	if ByName("nope") != nil {
+		t.Fatal("unknown name must return nil")
+	}
+}

@@ -73,6 +73,48 @@ func WriteResult(w io.Writer, res *Result) error { return core.WriteResult(w, re
 // ReadResult deserializes a result written by WriteResult.
 func ReadResult(r io.Reader) (*Result, error) { return core.ReadResult(r) }
 
+// Model is an immutable, goroutine-safe snapshot of a clustering run:
+// the labeled points, their inverted item postings, and the (measure, θ,
+// f) metadata the labeling score needs — everything required to answer
+// Assign queries forever without re-clustering. Build one with Freeze or
+// FreezeDataset, persist it with Model.Save, and reload it in any later
+// process with LoadModel; Assign and AssignBatch are bit-identical to
+// the pipeline's labeling phase over the frozen subsets.
+type Model = core.Model
+
+// Freeze snapshots a clustering run into a servable Model. The labeled
+// subsets are the run's own (Result.LabelSets) whenever the run drew
+// them — a model frozen from a sampled run reproduces that run's
+// labeling exactly — and otherwise are drawn fresh from res.Clusters by
+// the same pass the labeling phase uses (cfg.LabelFraction /
+// cfg.MaxLabelPoints, seeded by cfg.Seed). cfg.Measure must be nil or a
+// built-in measure — custom similarity functions cannot be serialized.
+func Freeze(ts []Transaction, res *Result, cfg Config) (*Model, error) {
+	return core.Freeze(ts, res, cfg)
+}
+
+// FreezeDataset is Freeze for a Dataset: the model additionally freezes
+// the dataset's vocabulary, enabling Model.AssignDataset on inputs read
+// under a different vocabulary (the CLI's -save / -load flow).
+func FreezeDataset(d *Dataset, res *Result, cfg Config) (*Model, error) {
+	return core.FreezeDataset(d, res, cfg)
+}
+
+// LoadModel reads a model written by Model.Save, verifying magic,
+// version and checksum. Failures wrap the ErrModel* sentinels.
+func LoadModel(r io.Reader) (*Model, error) { return core.LoadModel(r) }
+
+// Load failure sentinels, re-exported so callers can branch with
+// errors.Is on the exact failure mode LoadModel reports.
+var (
+	ErrModelTruncated = core.ErrModelTruncated
+	ErrModelMagic     = core.ErrModelMagic
+	ErrModelVersion   = core.ErrModelVersion
+	ErrModelChecksum  = core.ErrModelChecksum
+	ErrModelMeasure   = core.ErrModelMeasure
+	ErrModelCorrupt   = core.ErrModelCorrupt
+)
+
 // MarketBasketF is the paper's exponent choice f(θ) = (1−θ)/(1+θ).
 func MarketBasketF(theta float64) float64 { return core.MarketBasketF(theta) }
 
