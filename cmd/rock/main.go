@@ -68,9 +68,9 @@ func main() {
 	case *loadFrom != "" && *saveTo != "":
 		err = fmt.Errorf("-save conflicts with -load: a loaded model is already frozen (clustering, which -save would freeze, does not run)")
 	case *loadFrom != "":
-		err = runModel(*loadFrom, *assign, *input, *format, *workers, *labelCol, *nameCol, !*noHeader, *firstLab, *members, *maxRows)
+		err = runModel(os.Stdout, *loadFrom, *assign, *input, *format, *workers, *labelCol, *nameCol, !*noHeader, *firstLab, *members, *maxRows)
 	default:
-		err = run(*input, *format, cfg, *saveTo, *labelCol, *nameCol, !*noHeader, *firstLab, *members, *topItems, *maxRows)
+		err = run(os.Stdout, *input, *format, cfg, *saveTo, *labelCol, *nameCol, !*noHeader, *firstLab, *members, *topItems, *maxRows)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rock:", err)
@@ -103,9 +103,10 @@ func readInput(input, format string, labelCol, nameCol int, header, firstLab boo
 	}
 }
 
-// runModel is the -load path: print the model, and with -assign label the
-// input dataset through it.
-func runModel(path string, assign bool, input, format string, workers, labelCol, nameCol int, header, firstLab, members bool, maxRows int) error {
+// runModel is the -load path: print the model to w, and with -assign
+// label the input dataset through it. It takes the writer (rather than
+// printing to stdout) so the round-trip test can capture the output.
+func runModel(w io.Writer, path string, assign bool, input, format string, workers, labelCol, nameCol int, header, firstLab, members bool, maxRows int) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -115,15 +116,15 @@ func runModel(path string, assign bool, input, format string, workers, labelCol,
 	if err != nil {
 		return err
 	}
-	fmt.Println(m)
+	fmt.Fprintln(w, m)
 	if !assign {
 		sizes := m.ClusterSizes()
 		for ci, sz := range sizes {
 			if ci >= maxRows {
-				fmt.Printf("... %d more clusters\n", len(sizes)-maxRows)
+				fmt.Fprintf(w, "... %d more clusters\n", len(sizes)-maxRows)
 				break
 			}
-			fmt.Printf("cluster %d: frozen-size=%d\n", ci, sz)
+			fmt.Fprintf(w, "cluster %d: frozen-size=%d\n", ci, sz)
 		}
 		return nil
 	}
@@ -145,33 +146,35 @@ func runModel(path string, assign bool, input, format string, workers, labelCol,
 			byCluster[ci] = append(byCluster[ci], p)
 		}
 	}
-	fmt.Printf("assigned %d points: %d matched a cluster, %d outliers\n",
+	fmt.Fprintf(w, "assigned %d points: %d matched a cluster, %d outliers\n",
 		len(assigned), len(assigned)-outliers, outliers)
 	for ci, ms := range byCluster {
 		if ci >= maxRows {
-			fmt.Printf("... %d more clusters\n", m.K()-maxRows)
+			fmt.Fprintf(w, "... %d more clusters\n", m.K()-maxRows)
 			break
 		}
-		fmt.Printf("cluster %d: assigned=%d\n", ci, len(ms))
+		fmt.Fprintf(w, "cluster %d: assigned=%d\n", ci, len(ms))
 		if members {
 			for _, p := range ms {
 				name := fmt.Sprintf("#%d", p)
 				if d.Names != nil {
 					name = d.Names[p]
 				}
-				fmt.Printf("  %s\n", name)
+				fmt.Fprintf(w, "  %s\n", name)
 			}
 		}
 	}
 	if d.Labels != nil {
 		ev := rock.Evaluate(assigned, d.Labels)
-		fmt.Printf("accuracy r=%.4f error e=%.4f ace=%d ARI=%.4f NMI=%.4f\n",
+		fmt.Fprintf(w, "accuracy r=%.4f error e=%.4f ace=%d ARI=%.4f NMI=%.4f\n",
 			ev.Accuracy, ev.Error, ev.AbsoluteError, ev.ARI, ev.NMI)
 	}
 	return nil
 }
 
-func run(input, format string, cfg rock.Config, saveTo string, labelCol, nameCol int, header, firstLab, members bool, topItems, maxRows int) error {
+// run is the clustering path: read, cluster, optionally freeze to
+// saveTo, and print the summary to w.
+func run(w io.Writer, input, format string, cfg rock.Config, saveTo string, labelCol, nameCol int, header, firstLab, members bool, topItems, maxRows int) error {
 	d, err := readInput(input, format, labelCol, nameCol, header, firstLab)
 	if err != nil {
 		return err
@@ -201,14 +204,14 @@ func run(input, format string, cfg rock.Config, saveTo string, labelCol, nameCol
 		fmt.Fprintf(os.Stderr, "rock: froze %s to %s\n", m, saveTo)
 	}
 
-	fmt.Printf("points=%d clusters=%d outliers=%d merges=%d m_a=%.1f link-pairs=%d\n",
+	fmt.Fprintf(w, "points=%d clusters=%d outliers=%d merges=%d m_a=%.1f link-pairs=%d\n",
 		d.Len(), res.K(), len(res.Outliers), res.Stats.Merges, res.Stats.AvgNeighbors, res.Stats.LinkPairs)
 	for ci, ms := range res.Clusters {
 		if ci >= maxRows {
-			fmt.Printf("... %d more clusters\n", res.K()-maxRows)
+			fmt.Fprintf(w, "... %d more clusters\n", res.K()-maxRows)
 			break
 		}
-		fmt.Printf("cluster %d: size=%d", ci, len(ms))
+		fmt.Fprintf(w, "cluster %d: size=%d", ci, len(ms))
 		if d.Labels != nil {
 			counts := map[string]int{}
 			for _, p := range ms {
@@ -220,16 +223,16 @@ func run(input, format string, cfg rock.Config, saveTo string, labelCol, nameCol
 					best, bestN = l, n
 				}
 			}
-			fmt.Printf(" majority=%s purity=%.3f", best, float64(bestN)/float64(len(ms)))
+			fmt.Fprintf(w, " majority=%s purity=%.3f", best, float64(bestN)/float64(len(ms)))
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 		if topItems > 0 {
 			h := rock.BuildHistogram(d.Trans, ms)
-			fmt.Printf("  top items:")
+			fmt.Fprintf(w, "  top items:")
 			for _, ic := range h.Top(topItems) {
-				fmt.Printf(" %s(%.0f%%)", d.Vocab.Name(ic.Item), 100*h.Support(ic.Item))
+				fmt.Fprintf(w, " %s(%.0f%%)", d.Vocab.Name(ic.Item), 100*h.Support(ic.Item))
 			}
-			fmt.Println()
+			fmt.Fprintln(w)
 		}
 		if members {
 			for _, p := range ms {
@@ -237,13 +240,13 @@ func run(input, format string, cfg rock.Config, saveTo string, labelCol, nameCol
 				if d.Names != nil {
 					name = d.Names[p]
 				}
-				fmt.Printf("  %s\n", name)
+				fmt.Fprintf(w, "  %s\n", name)
 			}
 		}
 	}
 	if d.Labels != nil {
 		ev := rock.Evaluate(res.Assign, d.Labels)
-		fmt.Printf("accuracy r=%.4f error e=%.4f ace=%d ARI=%.4f NMI=%.4f\n",
+		fmt.Fprintf(w, "accuracy r=%.4f error e=%.4f ace=%d ARI=%.4f NMI=%.4f\n",
 			ev.Accuracy, ev.Error, ev.AbsoluteError, ev.ARI, ev.NMI)
 	}
 	return nil

@@ -10,6 +10,7 @@
 //	rockbench -merge       # map-vs-arena agglomeration sweep → BENCH_merge.json
 //	rockbench -label       # pairwise-vs-indexed labeling sweep → BENCH_label.json
 //	rockbench -assign      # frozen-model serving sweep → BENCH_assign.json
+//	rockbench -serve       # HTTP serving sweep → BENCH_serve.json
 package main
 
 import (
@@ -31,6 +32,7 @@ func main() {
 		merge  = flag.Bool("merge", false, "run the agglomeration engine sweep (map vs arena vs batched-parallel) and write BENCH_merge.json (or -out)")
 		label  = flag.Bool("label", false, "run the labeling sweep (pairwise reference vs indexed vs sharded) and write BENCH_label.json (or -out)")
 		assign = flag.Bool("assign", false, "run the frozen-model serving sweep (pairwise reference vs Model.Assign/AssignBatch + save/load cost) and write BENCH_assign.json (or -out)")
+		srv    = flag.Bool("serve", false, "run the HTTP serving sweep (concurrent load against an in-process rockserve stack) and write BENCH_serve.json (or -out)")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -56,6 +58,10 @@ func main() {
 	}
 	if *assign {
 		runSweep(*out, "BENCH_assign.json", *quick, *seed, expt.BenchAssign)
+		return
+	}
+	if *srv {
+		runSweep(*out, "BENCH_serve.json", *quick, *seed, expt.BenchServe)
 		return
 	}
 
@@ -102,6 +108,10 @@ the performance-trajectory records — one bench mode per record:
   -assign  frozen-model serving sweep              → BENCH_assign.json
            (pairwise reference vs Model.Assign/AssignBatch, plus the
            model file's size and save/load cost)
+  -serve   HTTP serving sweep                      → BENCH_serve.json
+           (concurrent clients against an in-process rockserve stack:
+           client-side p50/p95/p99 latency, throughput, and batching
+           effectiveness at two worker and two concurrency settings)
 
 With no flags and no ids, every experiment runs at paper scale to stdout.
 

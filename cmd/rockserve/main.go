@@ -1,0 +1,120 @@
+// Command rockserve serves assignment queries over HTTP from a frozen
+// rock model file — the serving half of the paper's scaling story: the
+// clusterer runs once over a Chernoff-sized sample, rockserve answers
+// "which cluster is this basket?" for everyone else.
+//
+//	rockserve -model shop.rock -addr :8080
+//
+// Endpoints:
+//
+//	POST /assign    {"queries": [["milk","bread"], ...]} or {"ids": [[0,4,7], ...]}
+//	GET  /healthz   liveness + serving generation
+//	GET  /stats     traffic counters, batching effectiveness, latency quantiles
+//	POST /-/reload  hot-swap the model, optionally {"path": "other.rock"}
+//
+// SIGHUP also reloads from -model: retrain offline, overwrite the file,
+// `kill -HUP`, and the server swaps generations without dropping a
+// request. SIGINT/SIGTERM shut down gracefully, draining in-flight
+// requests up to -drain-timeout.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/rockclust/rock/internal/core"
+	"github.com/rockclust/rock/internal/serve"
+)
+
+func main() {
+	var (
+		modelPath    = flag.String("model", "", "frozen model file to serve (required)")
+		addr         = flag.String("addr", ":8080", "listen address")
+		maxBatch     = flag.Int("max-batch", 0, "flush a coalesced batch at this many queries (0 = default 256)")
+		flushEvery   = flag.Duration("flush", 0, "flush a coalesced batch this long after it opens (0 = default 1ms)")
+		workers      = flag.Int("workers", 0, "AssignBatch workers per flush (0 = GOMAXPROCS)")
+		drainTimeout = flag.Duration("drain-timeout", 0, "how long reload and shutdown wait for in-flight requests (0 = default 30s)")
+	)
+	flag.Parse()
+	if *modelPath == "" {
+		fmt.Fprintln(os.Stderr, "rockserve: -model is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	m, err := loadModel(*modelPath)
+	if err != nil {
+		log.Fatalf("rockserve: %v", err)
+	}
+	cfg := serve.Config{
+		ModelPath:    *modelPath,
+		MaxBatch:     *maxBatch,
+		FlushEvery:   *flushEvery,
+		Workers:      *workers,
+		DrainTimeout: *drainTimeout,
+	}
+	s := serve.New(m, cfg)
+	log.Printf("rockserve: serving %s (generation 1) on %s", m, *addr)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	// SIGHUP hot-swaps the model from -model; a failed load logs and keeps
+	// the current generation serving.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			gen, drained, err := s.Reload(*modelPath)
+			if err != nil {
+				log.Printf("rockserve: SIGHUP reload failed, still serving generation %d: %v", s.Generation(), err)
+				continue
+			}
+			log.Printf("rockserve: SIGHUP reloaded %s → generation %d (drained=%v)", *modelPath, gen, drained)
+		}
+	}()
+
+	// SIGINT/SIGTERM drain and exit.
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := <-stop
+		timeout := cfg.DrainTimeout
+		if timeout <= 0 {
+			timeout = 30 * time.Second
+		}
+		log.Printf("rockserve: %v, draining for up to %v", sig, timeout)
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("rockserve: shutdown: %v", err)
+		}
+	}()
+
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("rockserve: %v", err)
+	}
+	<-done
+	st := s.Stats()
+	log.Printf("rockserve: served %d requests (%d queries, %d batches) over %.0fs",
+		st.Requests, st.Queries, st.Batches, st.UptimeSec)
+}
+
+// loadModel opens and validates a frozen model file.
+func loadModel(path string) (*core.Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.LoadModel(f)
+}

@@ -1,17 +1,22 @@
 // Serve: cluster once, freeze the run into a model file, then serve
-// assignment queries from the frozen model — concurrently, without ever
-// re-clustering. This is the paper's "cluster a sample, label the rest"
-// scaling story turned into a persistable serving artifact.
+// assignment queries from the frozen model — first in-process with
+// AssignBatch, then over HTTP with the rockserve stack, including a hot
+// model reload that swaps generations without dropping a request. This
+// is the paper's "cluster a sample, label the rest" scaling story turned
+// into a persistable, servable artifact.
 //
 //	go run ./examples/serve
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
-	"sync"
 
 	"github.com/rockclust/rock"
 )
@@ -54,14 +59,8 @@ func main() {
 		log.Fatal(err)
 	}
 	path := filepath.Join(os.TempDir(), "serve-example.rock")
-	f, err := os.Create(path)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := model.Save(f); err != nil {
-		log.Fatal(err)
-	}
-	if err := f.Close(); err != nil {
+	defer os.Remove(path)
+	if err := saveModel(model, path); err != nil {
 		log.Fatal(err)
 	}
 	info, _ := os.Stat(path)
@@ -80,13 +79,9 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Serve "live traffic": many goroutines querying one shared model.
-	// The traffic was generated under its own vocabulary (a different
-	// seed interns items in a different order), so it is translated into
-	// the model's frozen id space by item name first — the once-per-
-	// ingest step; RemapDataset errors if the model froze no vocabulary.
-	// After that, Assign is goroutine-safe and bit-identical to the
-	// pipeline's labeling phase over the frozen subsets.
+	// "Live traffic", generated under its own vocabulary (a different
+	// seed interns items in a different order), translated into the
+	// model's frozen id space by item name — the once-per-ingest step.
 	traffic := rock.GenerateBasket(rock.BasketConfig{
 		Transactions:    8000,
 		Clusters:        8,
@@ -98,40 +93,116 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	var wg sync.WaitGroup
-	counts := make([]int, served.K()+1) // last slot: outliers
-	var mu sync.Mutex
-	const handlers = 8
-	per := len(queries) / handlers
-	for h := 0; h < handlers; h++ {
-		lo, hi := h*per, (h+1)*per
-		if h == handlers-1 {
-			hi = len(queries)
-		}
-		wg.Add(1)
-		go func(batch []rock.Transaction) {
-			defer wg.Done()
-			local := make([]int, served.K()+1)
-			for _, t := range batch {
-				if ci := served.Assign(t); ci >= 0 {
-					local[ci]++
-				} else {
-					local[served.K()]++
-				}
-			}
-			mu.Lock()
-			for i, n := range local {
-				counts[i] += n
-			}
-			mu.Unlock()
-		}(queries[lo:hi])
-	}
-	wg.Wait()
 
-	fmt.Printf("served %d queries across %d handlers:\n", len(queries), handlers)
+	// In-process serving: AssignBatch shards the queries across workers
+	// internally and returns one assignment per query, bit-identical to
+	// the pipeline's labeling phase over the frozen subsets.
+	assigned := served.AssignBatch(queries, 8)
+	counts := make([]int, served.K()+1) // last slot: outliers
+	for _, ci := range assigned {
+		if ci >= 0 {
+			counts[ci]++
+		} else {
+			counts[served.K()]++
+		}
+	}
+	fmt.Printf("served %d queries in-process via AssignBatch:\n", len(queries))
 	for ci := 0; ci < served.K(); ci++ {
 		fmt.Printf("  cluster %d: %d\n", ci, counts[ci])
 	}
 	fmt.Printf("  outliers: %d\n", counts[served.K()])
-	os.Remove(path)
+
+	// The same model over HTTP: the rockserve stack coalesces concurrent
+	// POST /assign requests into shared AssignBatch flushes and hot-swaps
+	// the model on POST /-/reload without dropping a request.
+	srv := rock.NewServer(served, rock.ServeConfig{ModelPath: path})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+
+	// Queries travel as item names; the server translates them through
+	// the model's frozen vocabulary exactly like RemapDataset above.
+	names := make([][]string, 0, 3)
+	for _, t := range traffic.Trans[:3] {
+		row := make([]string, 0, len(t))
+		for _, it := range t {
+			row = append(row, traffic.Vocab.Name(it))
+		}
+		names = append(names, row)
+	}
+	var resp rock.AssignResponse
+	postJSON(base+"/assign", rock.AssignRequest{Queries: names}, &resp)
+	fmt.Printf("HTTP /assign (generation %d): %v\n", resp.Generation, resp.Assignments)
+	for i, ci := range resp.Assignments {
+		if ci != assigned[i] {
+			log.Fatalf("HTTP answer %d disagrees with AssignBatch (%d vs %d)", i, ci, assigned[i])
+		}
+	}
+
+	// Retrain offline — here just a re-freeze — overwrite the file, and
+	// reload. In-flight generation-1 requests drain to completion while
+	// generation 2 answers everything new.
+	if err := saveModel(model, path); err != nil {
+		log.Fatal(err)
+	}
+	var rl rock.ReloadResponse
+	postJSON(base+"/-/reload", struct{}{}, &rl)
+	fmt.Printf("HTTP /-/reload: generation %d, drained=%v\n", rl.Generation, rl.Drained)
+
+	postJSON(base+"/assign", rock.AssignRequest{Queries: names}, &resp)
+	fmt.Printf("HTTP /assign (generation %d): %v\n", resp.Generation, resp.Assignments)
+
+	var stats rock.ServeStats
+	getJSON(base+"/stats", &stats)
+	fmt.Printf("HTTP /stats: %d requests, %d queries, %d batches, %d reloads\n",
+		stats.Requests, stats.Queries, stats.Batches, stats.Reloads)
+}
+
+// saveModel freezes the model to a file.
+func saveModel(m *rock.Model, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// postJSON posts a JSON body and decodes the JSON response.
+func postJSON(url string, req, resp any) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		log.Fatalf("POST %s: %s", url, r.Status)
+	}
+	if err := json.NewDecoder(r.Body).Decode(resp); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// getJSON fetches a URL and decodes the JSON response.
+func getJSON(url string, resp any) {
+	r, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer r.Body.Close()
+	if err := json.NewDecoder(r.Body).Decode(resp); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -44,6 +44,13 @@ type labeler struct {
 	ptGlobal []int32   // flattened labeled points: dataset index
 	ptSet    []int32   // flattened labeled points: owning cluster index
 	postings [][]int32 // item → flattened labeled-point ids holding it
+
+	// postingsMap replaces the dense postings array when the labeled
+	// points' item ids are sparse: the dense array is sized by the MAX id,
+	// so a single huge id (legal in a FreezeSets call, and reachable from
+	// a checksummed-but-mutated model file) would balloon it far past the
+	// data. Non-nil ⇔ postings is nil; the lookup is the only difference.
+	postingsMap map[dataset.Item][]int32
 }
 
 // newLabeler prepares the labeling phase for the given cluster subsets.
@@ -71,10 +78,12 @@ func newLabeler(ts []dataset.Transaction, sets [][]int, theta, f float64, sim si
 	lb.ptGlobal = make([]int32, 0, npts)
 	lb.ptSet = make([]int32, 0, npts)
 	nitems := 0
+	occurrences := 0
 	for i, li := range sets {
 		for _, q := range li {
 			lb.ptGlobal = append(lb.ptGlobal, int32(q))
 			lb.ptSet = append(lb.ptSet, int32(i))
+			occurrences += len(ts[q])
 			for _, it := range ts[q] {
 				if int(it) >= nitems {
 					nitems = int(it) + 1
@@ -82,10 +91,25 @@ func newLabeler(ts []dataset.Transaction, sets [][]int, theta, f float64, sim si
 			}
 		}
 	}
-	lb.postings = make([][]int32, nitems)
-	for pid, q := range lb.ptGlobal {
-		for _, it := range ts[q] {
-			lb.postings[it] = append(lb.postings[it], int32(pid))
+	// Dense array when the id space is within a small factor of the data
+	// it indexes (always true for vocabulary-interned ids); map otherwise,
+	// so the index stays linear in the labeled points no matter how large
+	// an id a caller — or a corrupted-but-checksummed model file — throws
+	// at it. The two lookups return the same lists, so the choice is
+	// invisible to results.
+	if nitems <= 4*occurrences+1024 {
+		lb.postings = make([][]int32, nitems)
+		for pid, q := range lb.ptGlobal {
+			for _, it := range ts[q] {
+				lb.postings[it] = append(lb.postings[it], int32(pid))
+			}
+		}
+	} else {
+		lb.postingsMap = make(map[dataset.Item][]int32, occurrences)
+		for pid, q := range lb.ptGlobal {
+			for _, it := range ts[q] {
+				lb.postingsMap[it] = append(lb.postingsMap[it], int32(pid))
+			}
 		}
 	}
 	return lb
@@ -128,10 +152,16 @@ func (lb *labeler) labelIndexed(t dataset.Transaction, sc *labelScratch) int {
 	// per the data model, but the pairwise reference tolerates them in
 	// candidates) — occur in no labeled point and cannot contribute.
 	for _, it := range t {
-		if it < 0 || int(it) >= len(lb.postings) {
-			continue
+		var plist []int32
+		if lb.postings != nil {
+			if it < 0 || int(it) >= len(lb.postings) {
+				continue
+			}
+			plist = lb.postings[it]
+		} else {
+			plist = lb.postingsMap[it]
 		}
-		for _, pid := range lb.postings[it] {
+		for _, pid := range plist {
 			if sc.counts[pid] == 0 {
 				sc.touched = append(sc.touched, pid)
 			}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"github.com/rockclust/rock/internal/dataset"
+)
+
+// modelSentinels lists every failure mode LoadModel is allowed to report.
+var modelSentinels = []error{
+	ErrModelTruncated, ErrModelMagic, ErrModelVersion,
+	ErrModelChecksum, ErrModelMeasure, ErrModelCorrupt,
+}
+
+// fuzzSeedMutants are the deterministic mutations of the golden model the
+// fuzzer starts from (and the corpus generator persists): each targets a
+// distinct section of the format, so the fuzzer begins past the trivial
+// magic/CRC rejections. Offsets follow TestModelLoadFailures.
+func fuzzSeedMutants(golden []byte) [][]byte {
+	const measureOff = 8 + 4 + 8 + 8 + 4
+	reseals := []func(b []byte) []byte{
+		// Version nobody reads.
+		func(b []byte) []byte { binary.LittleEndian.PutUint32(b[8:12], 7); return b },
+		// The (2³¹, 2⁶³) cluster-size regression this fuzzer exists for.
+		func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[measureOff+7+4:], uint64(1)<<40)
+			return b
+		},
+		// A set size claiming more points than the payload holds.
+		func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[measureOff+7+4+8:], 1<<30)
+			return b
+		},
+		// A labeled-point item id at the top of the int32 range — the
+		// over-allocation probe for the postings index.
+		func(b []byte) []byte {
+			itemOff := measureOff + 7 + 4 + 48 + 4 + 8
+			binary.LittleEndian.PutUint32(b[itemOff:], 1<<31-2)
+			return b
+		},
+	}
+	mutants := [][]byte{
+		golden,
+		{},
+		[]byte("ROCKMODL"),
+		golden[:len(golden)/2],
+		append([]byte("NOTAMODL"), golden[8:]...),
+	}
+	for _, m := range reseals {
+		mutants = append(mutants, reseal(m(append([]byte(nil), golden...))))
+	}
+	return mutants
+}
+
+// FuzzLoadModel feeds LoadModel arbitrary bytes — raw, and resealed with
+// a fresh CRC so the payload parser past the checksum gate is actually
+// explored. The contract under fuzz: every rejection wraps one of the
+// ErrModel* sentinels (never a panic), allocations stay bounded by the
+// input size (an over-allocation shows up as the fuzz process dying on a
+// multi-gigabyte make), and anything that loads is coherent — it assigns
+// without panicking and survives a byte-identical Save→Load round trip.
+func FuzzLoadModel(f *testing.F) {
+	for _, seed := range fuzzSeedMutants(goldenModelBytes(f)) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzLoadOnce(t, data)
+		// Reseal so a mutated payload reaches the section parsers instead
+		// of dying at the CRC gate. The frame needs magic + version + CRC.
+		if len(data) >= 16 {
+			fuzzLoadOnce(t, reseal(data))
+		}
+	})
+}
+
+// fuzzLoadOnce drives one LoadModel call and checks the fuzz contract.
+func fuzzLoadOnce(t *testing.T, data []byte) {
+	m, err := LoadModel(bytes.NewReader(data))
+	if err != nil {
+		for _, sentinel := range modelSentinels {
+			if errors.Is(err, sentinel) {
+				return
+			}
+		}
+		t.Fatalf("LoadModel error wraps no ErrModel* sentinel: %v", err)
+	}
+	// Accepted files must be fully coherent, not just parseable.
+	if m.Assign(dataset.NewTransaction(0, 1, 2)) >= m.K() {
+		t.Fatal("Assign returned a cluster index past K")
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatalf("accepted model does not re-save: %v", err)
+	}
+	again, err := LoadModel(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("accepted model does not round-trip: %v", err)
+	}
+	var buf2 bytes.Buffer
+	if err := again.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("accepted model's Save→Load→Save is not byte-identical")
+	}
+}
+
+// TestWriteFuzzCorpus regenerates the committed FuzzLoadModel seed corpus
+// under testdata/fuzz (run with WRITE_FUZZ_CORPUS=1 after a format
+// change; the committed files make every `go test` run a short fuzz pass
+// over them). Skipped otherwise.
+func TestWriteFuzzCorpus(t *testing.T) {
+	if os.Getenv("WRITE_FUZZ_CORPUS") == "" {
+		t.Skip("set WRITE_FUZZ_CORPUS=1 to rewrite testdata/fuzz/FuzzLoadModel")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzLoadModel")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, seed := range fuzzSeedMutants(goldenModelBytes(t)) {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(seed)))
+		if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("seed-%02d", i)), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

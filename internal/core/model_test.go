@@ -285,7 +285,7 @@ func TestModelSaveLoadRoundTrip(t *testing.T) {
 // goldenModelBytes freezes a small deterministic model (with vocabulary)
 // and returns its serialized form — the base the load-failure table
 // mutates.
-func goldenModelBytes(t *testing.T) []byte {
+func goldenModelBytes(t testing.TB) []byte {
 	t.Helper()
 	v := dataset.NewVocabulary()
 	d := &dataset.Dataset{Vocab: v}
@@ -452,7 +452,22 @@ func TestModelLoadFailures(t *testing.T) {
 				return reseal(b)
 			},
 			sentinel: ErrModelCorrupt,
-			mention:  "cluster table",
+			mention:  "cluster size",
+		},
+		{
+			// The regression this PR's fuzzer shook out: a value in
+			// (2³¹, 2⁶³) stays positive through the uint64 → int
+			// conversion on 64-bit hosts, so the old `< 0` check let it
+			// through as a "valid" multi-terapoint cluster.
+			name: "cluster size in (2^31, 2^63)",
+			mutate: func(b []byte) []byte {
+				b = append([]byte(nil), b...)
+				sizeOff := measureOff + 7 + 4
+				binary.LittleEndian.PutUint64(b[sizeOff:sizeOff+8], 1<<40)
+				return reseal(b)
+			},
+			sentinel: ErrModelCorrupt,
+			mention:  "plausible point count",
 		},
 	}
 	for _, tc := range cases {
@@ -570,5 +585,66 @@ func TestModelAssignDataset(t *testing.T) {
 	}
 	if _, err := raw.AssignDataset(rev, 1); err == nil || !strings.Contains(err.Error(), "vocabulary") {
 		t.Fatalf("vocabless model: err = %v", err)
+	}
+}
+
+// TestModelSparseItemIDs pins the labeler's sparse-postings fallback: a
+// model whose labeled points carry item ids far beyond the data (legal
+// through FreezeSets, and reachable from a checksummed model file) must
+// neither over-allocate a dense max-id-sized postings array nor change a
+// single assignment, in-process or across a save/load round trip.
+func TestModelSparseItemIDs(t *testing.T) {
+	huge := dataset.Item(1<<31 - 2)
+	ts := []dataset.Transaction{
+		dataset.NewTransaction(1, 2, 3, huge),
+		dataset.NewTransaction(1, 2, 4, huge-1),
+		dataset.NewTransaction(5_000_000, 6_000_000, 7_000_000),
+		dataset.NewTransaction(5_000_000, 6_000_000, 8_000_000),
+		dataset.NewTransaction(1, 2, 3, 4),
+		dataset.NewTransaction(5_000_000, 6_000_000, 7_000_000, 8_000_000),
+		dataset.NewTransaction(9, 10, 11),
+	}
+	m, err := FreezeSets(ts, [][]int{{0, 1}, {2, 3}}, nil, 0.4, MarketBasketF(0.4), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.lb.postings != nil {
+		t.Fatalf("dense postings array built over a %d-wide id space", huge)
+	}
+	if !m.lb.indexed {
+		t.Fatal("sparse ids fell back to the pairwise path; the map index should serve them")
+	}
+	queries := ts[4:]
+	want := BenchAssignReference(m, queries)
+	if got := m.AssignBatch(queries, 2); !reflect.DeepEqual(got, want) {
+		t.Fatalf("sparse postings disagree with the pairwise reference: %v vs %v", got, want)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() > 4096 {
+		t.Fatalf("sparse-id model serialized to %d bytes; the ids should cost 4 bytes each", buf.Len())
+	}
+	loaded, err := LoadModel(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded.AssignBatch(queries, 1); !reflect.DeepEqual(got, want) {
+		t.Fatalf("reloaded sparse-id model disagrees: %v vs %v", got, want)
+	}
+}
+
+// TestLabelerDensePostingsStayDense guards the crossover: ordinary
+// vocabulary-interned ids must keep the dense array (the hot path the
+// oracle tests measure), not quietly degrade to map lookups.
+func TestLabelerDensePostingsStayDense(t *testing.T) {
+	ts, _ := groupedData(3, 30, 7)
+	m, err := FreezeSets(ts, [][]int{{0, 1, 2}, {30, 31}, {60, 61, 62}}, nil, 0.3, 0.25, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.lb.postings == nil {
+		t.Fatal("dense ids built a sparse postings map")
 	}
 }

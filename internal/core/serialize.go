@@ -114,6 +114,25 @@ var modelMagic = [8]byte{'R', 'O', 'C', 'K', 'M', 'O', 'D', 'L'}
 // on any payload layout change (see the package comment).
 const modelVersion = 1
 
+// maxModelClusterSize bounds the stored full-cluster sizes. Point indices
+// are int32 everywhere a cluster's members are enumerated (CSR columns,
+// the labeling postings), so no writer can have counted a cluster past
+// 2³¹−1 points — a larger value survives the uint64 → int conversion on
+// 64-bit hosts but is corruption all the same.
+const maxModelClusterSize = math.MaxInt32
+
+// Minimum encoded widths, used to bound every length-prefixed allocation
+// by what the remaining payload could actually hold: a section that
+// declares more entries than the bytes after it can encode is corrupt,
+// and the check runs BEFORE the allocation, so a crafted length cannot
+// balloon memory past a small constant factor of the file size.
+const (
+	clusterEntryBytes = 12 // clusterSize uint64 + setSize uint32
+	pointMinBytes     = 4  // nitems uint32 (items may be empty)
+	itemBytes         = 4  // one item id uint32
+	strMinBytes       = 4  // length uint32 (the bytes may be empty)
+)
+
 // Load failure modes, each wrapped with context by LoadModel so callers
 // can both print an actionable message and branch with errors.Is.
 var (
@@ -206,27 +225,31 @@ func LoadModel(r io.Reader) (*Model, error) {
 	f := math.Float64frombits(cur.u64())
 	measure := cur.str()
 	k := int(cur.u32())
-	if cur.err != nil || k < 1 || k > cur.remaining() {
+	if cur.err != nil || k < 1 || k > cur.remaining()/clusterEntryBytes {
 		return nil, corruptModel(cur.err, "cluster table")
 	}
 	clusterSizes := make([]int, k)
 	setSizes := make([]int, k)
 	npts := 0
 	for i := 0; i < k; i++ {
-		clusterSizes[i] = int(cur.u64())
+		sz := cur.u64()
+		if sz > maxModelClusterSize {
+			return nil, corruptModel(nil, "cluster size beyond any plausible point count")
+		}
+		clusterSizes[i] = int(sz)
 		setSizes[i] = int(cur.u32())
-		if clusterSizes[i] < 0 || setSizes[i] < 0 || setSizes[i] > cur.remaining() {
+		if setSizes[i] > cur.remaining()/pointMinBytes {
 			return nil, corruptModel(cur.err, "cluster table")
 		}
 		npts += setSizes[i]
 	}
-	if cur.err != nil || npts > cur.remaining() {
+	if cur.err != nil || npts > cur.remaining()/pointMinBytes {
 		return nil, corruptModel(cur.err, "cluster table")
 	}
 	pts := make([]dataset.Transaction, npts)
 	for p := range pts {
 		n := int(cur.u32())
-		if cur.err != nil || n < 0 || n*4 > cur.remaining() {
+		if cur.err != nil || n > cur.remaining()/itemBytes {
 			return nil, corruptModel(cur.err, "labeled points")
 		}
 		t := make(dataset.Transaction, n)
@@ -249,7 +272,7 @@ func LoadModel(r io.Reader) (*Model, error) {
 	case 0:
 	case 1:
 		n := int(cur.u32())
-		if cur.err != nil || n < 0 || n > cur.remaining() {
+		if cur.err != nil || n > cur.remaining()/strMinBytes {
 			return nil, corruptModel(cur.err, "vocabulary")
 		}
 		items = make([]string, n)

@@ -49,6 +49,7 @@ type AssignParallelPoint struct {
 // AssignBenchReport is the BENCH_assign.json payload.
 type AssignBenchReport struct {
 	GOMAXPROCS int              `json:"gomaxprocs"`
+	NumCPU     int              `json:"numcpu"`
 	Quick      bool             `json:"quick"`
 	Rows       []AssignBenchRow `json:"rows"`
 	Notes      []string         `json:"notes"`
@@ -70,8 +71,10 @@ func BenchAssign(w io.Writer, opts Options) error {
 
 	report := AssignBenchReport{
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Quick:      opts.Quick,
 		Notes: []string{
+			cpuNote(),
 			"pairwise is the paper's labeling loop run per query; assign serves the same queries from a frozen model (inverted index over the frozen labeled points, θ-test decided from (|t∩q|, |t|, |q|)).",
 			"the model is frozen from the same clustered sample and L_i sets the -label sweep uses (every 5th transaction clustered; sets per LabelFraction/MaxLabelPoints defaults); queries are the remaining points.",
 			"times are best-of-3 seconds for the serving path alone; speedup = pairwise_sec / assign_sec.",

@@ -2,12 +2,21 @@ package expt
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"time"
 
 	"github.com/rockclust/rock/internal/dataset"
 	"github.com/rockclust/rock/internal/metrics"
 )
+
+// cpuNote pins the CPU context a benchmark ran under. Every BENCH JSON
+// carries it: parallel and latency numbers are meaningless without
+// knowing how many CPUs the workers actually had.
+func cpuNote() string {
+	return fmt.Sprintf("measured at GOMAXPROCS=%d on a host with %d CPUs (runtime.NumCPU).",
+		runtime.GOMAXPROCS(0), runtime.NumCPU())
+}
 
 // compositionTable renders the classic cluster-composition table of the
 // paper's quality experiments: one row per cluster with its size and

@@ -44,6 +44,7 @@ type LabelParallelPoint struct {
 // LabelBenchReport is the BENCH_label.json payload.
 type LabelBenchReport struct {
 	GOMAXPROCS int             `json:"gomaxprocs"`
+	NumCPU     int             `json:"numcpu"`
 	Quick      bool            `json:"quick"`
 	Rows       []LabelBenchRow `json:"rows"`
 	Notes      []string        `json:"notes"`
@@ -111,8 +112,10 @@ func BenchLabel(w io.Writer, opts Options) error {
 
 	report := LabelBenchReport{
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Quick:      opts.Quick,
 		Notes: []string{
+			cpuNote(),
 			"pairwise is the paper's labeling loop (every candidate against every labeled point); indexed counts intersections through an inverted index over the labeled points and decides the θ-test exactly from (|t∩q|, |t|, |q|).",
 			"the sample is every 5th transaction, clustered with full ROCK; L_i sets take every 4th member of each cluster capped at 50, as Config.LabelFraction/MaxLabelPoints defaults would.",
 			"times are best-of-3 seconds for the labeling phase alone over prebuilt sets on the basket workload; speedup = pairwise_sec / indexed_sec.",

@@ -34,6 +34,7 @@ type LinkBenchParallel struct {
 // LinkBenchReport is the BENCH_links.json payload.
 type LinkBenchReport struct {
 	GOMAXPROCS int            `json:"gomaxprocs"`
+	NumCPU     int            `json:"numcpu"`
 	Quick      bool           `json:"quick"`
 	Rows       []LinkBenchRow `json:"rows"`
 	Notes      []string       `json:"notes"`
@@ -55,8 +56,10 @@ func BenchLinks(w io.Writer, opts Options) error {
 
 	report := LinkBenchReport{
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Quick:      opts.Quick,
 		Notes: []string{
+			cpuNote(),
 			"serial is the paper's map-accumulating FromNeighbors; parallel is the sharded CSR builder FromNeighborsCSR.",
 			"times are best-of-3 seconds on the E6 ScaleUp basket workload; speedup = serial_sec / sec.",
 			"the parallel builder wins even at workers=1 by replacing map inserts with dense array counting.",

@@ -47,6 +47,7 @@ type MergeParallelPoint struct {
 // MergeBenchReport is the BENCH_merge.json payload.
 type MergeBenchReport struct {
 	GOMAXPROCS int             `json:"gomaxprocs"`
+	NumCPU     int             `json:"numcpu"`
 	Quick      bool            `json:"quick"`
 	Rows       []MergeBenchRow `json:"rows"`
 	Notes      []string        `json:"notes"`
@@ -67,8 +68,10 @@ func BenchMerge(w io.Writer, opts Options) error {
 
 	report := MergeBenchReport{
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Quick:      opts.Quick,
 		Notes: []string{
+			cpuNote(),
 			"map is the reference engine (map[int]*clus, per-merge map rebuilds, one indexed heap per cluster); arena is the flat-slot engine with sorted link rows and a single lazy heap.",
 			"times are best-of-3 seconds for the agglomeration phase alone, over a prebuilt CSR link table on the basket workload; speedup = map_sec / arena_sec.",
 			"parallel rows time the batched merge engine (conflict-free merge rounds executed across workers) against the serial arena: speedup = arena_sec / sec.",

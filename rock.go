@@ -5,6 +5,7 @@ import (
 
 	"github.com/rockclust/rock/internal/core"
 	"github.com/rockclust/rock/internal/dataset"
+	"github.com/rockclust/rock/internal/serve"
 )
 
 // Core clustering types, re-exported from the engine.
@@ -114,6 +115,33 @@ var (
 	ErrModelMeasure   = core.ErrModelMeasure
 	ErrModelCorrupt   = core.ErrModelCorrupt
 )
+
+// Serving stack, re-exported from the serve package: an HTTP server over
+// a frozen Model with request coalescing and atomic hot-swap reload (the
+// machinery behind cmd/rockserve).
+type (
+	// ServeConfig parameterizes a Server (batch size, flush deadline,
+	// workers, drain timeout, reload path). The zero value uses the
+	// documented defaults.
+	ServeConfig = serve.Config
+	// Server answers assignment traffic from a hot-swappable frozen
+	// model. Mount Server.Handler on any http.Server; Server.Swap or
+	// POST /-/reload replaces the model without dropping a request.
+	Server = serve.Server
+	// ServeStats is the GET /stats snapshot: traffic counters, batching
+	// effectiveness, and latency quantiles.
+	ServeStats = serve.Stats
+	// AssignRequest is the POST /assign body (item names or raw ids).
+	AssignRequest = serve.AssignRequest
+	// AssignResponse answers POST /assign: one cluster index per query
+	// plus the model generation that answered.
+	AssignResponse = serve.AssignResponse
+	// ReloadResponse answers POST /-/reload.
+	ReloadResponse = serve.ReloadResponse
+)
+
+// NewServer builds a Server serving the given frozen model.
+func NewServer(m *Model, cfg ServeConfig) *Server { return serve.New(m, cfg) }
 
 // MarketBasketF is the paper's exponent choice f(θ) = (1−θ)/(1+θ).
 func MarketBasketF(theta float64) float64 { return core.MarketBasketF(theta) }
