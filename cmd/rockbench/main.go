@@ -11,6 +11,7 @@
 //	rockbench -label       # pairwise-vs-indexed labeling sweep → BENCH_label.json
 //	rockbench -assign      # frozen-model serving sweep → BENCH_assign.json
 //	rockbench -serve       # HTTP serving sweep → BENCH_serve.json
+//	rockbench -neighbors   # exact-vs-LSH neighbor sweep → BENCH_neighbors.json
 package main
 
 import (
@@ -33,6 +34,8 @@ func main() {
 		label  = flag.Bool("label", false, "run the labeling sweep (pairwise reference vs indexed vs sharded) and write BENCH_label.json (or -out)")
 		assign = flag.Bool("assign", false, "run the frozen-model serving sweep (pairwise reference vs Model.Assign/AssignBatch + save/load cost) and write BENCH_assign.json (or -out)")
 		srv    = flag.Bool("serve", false, "run the HTTP serving sweep (concurrent load against an in-process rockserve stack) and write BENCH_serve.json (or -out)")
+		nbrs   = flag.Bool("neighbors", false, "run the neighbor-phase sweep (exact index vs prototype LSH vs sort-based LSH pipeline) and write BENCH_neighbors.json (or -out)")
+		long   = flag.Bool("long", false, "with -neighbors: add the million-point rows (10⁶ LSH neighbor run + chunked clustering end-to-end); minutes of runtime")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -44,24 +47,29 @@ func main() {
 		return
 	}
 
+	sweepOpts := expt.Options{Quick: *quick, Seed: *seed, Long: *long}
 	if *links {
-		runSweep(*out, "BENCH_links.json", *quick, *seed, expt.BenchLinks)
+		runSweep(*out, "BENCH_links.json", sweepOpts, expt.BenchLinks)
 		return
 	}
 	if *merge {
-		runSweep(*out, "BENCH_merge.json", *quick, *seed, expt.BenchMerge)
+		runSweep(*out, "BENCH_merge.json", sweepOpts, expt.BenchMerge)
 		return
 	}
 	if *label {
-		runSweep(*out, "BENCH_label.json", *quick, *seed, expt.BenchLabel)
+		runSweep(*out, "BENCH_label.json", sweepOpts, expt.BenchLabel)
 		return
 	}
 	if *assign {
-		runSweep(*out, "BENCH_assign.json", *quick, *seed, expt.BenchAssign)
+		runSweep(*out, "BENCH_assign.json", sweepOpts, expt.BenchAssign)
 		return
 	}
 	if *srv {
-		runSweep(*out, "BENCH_serve.json", *quick, *seed, expt.BenchServe)
+		runSweep(*out, "BENCH_serve.json", sweepOpts, expt.BenchServe)
+		return
+	}
+	if *nbrs {
+		runSweep(*out, "BENCH_neighbors.json", sweepOpts, expt.BenchNeighbors)
 		return
 	}
 
@@ -112,11 +120,17 @@ the performance-trajectory records — one bench mode per record:
            (concurrent clients against an in-process rockserve stack:
            client-side p50/p95/p99 latency, throughput, and batching
            effectiveness at two worker and two concurrency settings)
+  -neighbors  neighbor-phase sweep                 → BENCH_neighbors.json
+           (exact inverted index vs prototype map-based LSH vs the
+           sort-based sharded LSH pipeline on hub-heavy baskets, with
+           measured edge recall; add -long for the million-point rows
+           including an end-to-end chunked clustering run)
 
 With no flags and no ids, every experiment runs at paper scale to stdout.
 
 Flags:
   -quick   shrink dataset sizes and sweeps (recorded in the JSON)
+  -long    unlock the 10⁶-point rows of -neighbors (minutes of runtime)
   -seed N  base seed for all generators (default 0)
   -list    list experiment ids and exit
   -out F   write reports (or the named sweep) to F instead of the default
@@ -132,7 +146,7 @@ the scaling curve; the current GOMAXPROCS is recorded in each file.
 }
 
 // runSweep writes one JSON perf sweep to out (or the default path).
-func runSweep(out, def string, quick bool, seed int64, sweep func(w io.Writer, opts expt.Options) error) {
+func runSweep(out, def string, opts expt.Options, sweep func(w io.Writer, opts expt.Options) error) {
 	path := out
 	if path == "" {
 		path = def
@@ -143,7 +157,7 @@ func runSweep(out, def string, quick bool, seed int64, sweep func(w io.Writer, o
 		os.Exit(1)
 	}
 	defer f.Close()
-	if err := sweep(f, expt.Options{Quick: quick, Seed: seed}); err != nil {
+	if err := sweep(f, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "rockbench:", err)
 		os.Exit(1)
 	}

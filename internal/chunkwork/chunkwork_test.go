@@ -1,0 +1,70 @@
+package chunkwork
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversEveryIndexOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 1000} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			hits := make([]atomic.Int32, max(n, 1))
+			Rows(n, workers, 64, func(i int) { hits[i].Add(1) })
+			for i := 0; i < n; i++ {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("n=%d workers=%d: index %d visited %d times", n, workers, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestRunChunksAreInRangeAndDisjoint(t *testing.T) {
+	const n = 503
+	var total atomic.Int64
+	Run(n, 4, 32, func(next func() (int, int, bool)) {
+		for lo, hi, ok := next(); ok; lo, hi, ok = next() {
+			if lo < 0 || hi > n || lo >= hi {
+				t.Errorf("bad chunk [%d,%d)", lo, hi)
+				return
+			}
+			total.Add(int64(hi - lo))
+		}
+	})
+	if total.Load() != n {
+		t.Fatalf("chunks covered %d indices, want %d", total.Load(), n)
+	}
+}
+
+func TestRunPerWorkerScratchIsExclusive(t *testing.T) {
+	// Each worker mutates its own scratch on every claim; the final sums
+	// must account for every index exactly once even under -race.
+	const n = 4096
+	var grand atomic.Int64
+	Run(n, 8, 16, func(next func() (int, int, bool)) {
+		sum := 0 // per-worker scratch
+		for lo, hi, ok := next(); ok; lo, hi, ok = next() {
+			for i := lo; i < hi; i++ {
+				sum += i
+			}
+		}
+		grand.Add(int64(sum))
+	})
+	want := int64(n) * int64(n-1) / 2
+	if grand.Load() != want {
+		t.Fatalf("scratch sums total %d, want %d", grand.Load(), want)
+	}
+}
+
+func TestRunDefaults(t *testing.T) {
+	// workers=0 (GOMAXPROCS) and chunk=0 (DefaultChunk) must still cover
+	// the range; n=0 must not call the worker at all.
+	seen := make([]atomic.Int32, 100)
+	Rows(100, 0, 0, func(i int) { seen[i].Add(1) })
+	for i := range seen {
+		if seen[i].Load() != 1 {
+			t.Fatalf("index %d visited %d times", i, seen[i].Load())
+		}
+	}
+	Run(0, 4, 8, func(func() (int, int, bool)) { t.Error("worker invoked for n=0") })
+}

@@ -2,9 +2,8 @@ package core
 
 import (
 	"runtime"
-	"sync"
-	"sync/atomic"
 
+	"github.com/rockclust/rock/internal/chunkwork"
 	"github.com/rockclust/rock/internal/dataset"
 )
 
@@ -15,8 +14,9 @@ import (
 // writes its own slot of the output, so sharding them across workers
 // cannot reorder or change anything — output is byte-identical for every
 // worker count by construction, with no validation machinery needed.
-// Workers claim fixed-size chunks off an atomic cursor, so a candidate
-// with an expensive neighborhood doesn't stall a whole static shard.
+// Workers claim fixed-size chunks off an atomic cursor (the shared
+// chunkwork.Run loop), so a candidate with an expensive neighborhood
+// doesn't stall a whole static shard.
 
 // DefaultLabelSerialBelow is the default crossover for the labeling
 // phase: below this many candidates the goroutine handoff costs more
@@ -44,8 +44,10 @@ func (lb *labeler) run(candidates []int, workers, serialBelow int) []int {
 // assignment lands in slot i of the result. get/put bracket each
 // worker's scratch (the model routes them through its pool; the
 // pipeline allocates fresh per worker). workers ≤ 1, or n below a
-// positive serialBelow, takes the serial loop; either way the output is
-// byte-identical, queries being independent.
+// positive serialBelow, takes the serial loop; the parallel path is
+// chunkwork.Run, the claim loop shared with the neighbor and LSH
+// stages. Either way the output is byte-identical, queries being
+// independent.
 func (lb *labeler) runEach(n int, at func(int) dataset.Transaction, workers, serialBelow int, get func() *labelScratch, put func(*labelScratch)) []int {
 	out := make([]int, n)
 	if n == 0 {
@@ -53,9 +55,6 @@ func (lb *labeler) runEach(n int, at func(int) dataset.Transaction, workers, ser
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
 	}
 	if workers <= 1 || (serialBelow > 0 && n < serialBelow) {
 		sc := get()
@@ -66,32 +65,15 @@ func (lb *labeler) runEach(n int, at func(int) dataset.Transaction, workers, ser
 		return out
 	}
 
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	work := func() {
-		defer wg.Done()
+	chunkwork.Run(n, workers, labelChunk, func(next func() (int, int, bool)) {
 		sc := get()
-		for {
-			lo := int(next.Add(labelChunk)) - labelChunk
-			if lo >= n {
-				break
-			}
-			hi := lo + labelChunk
-			if hi > n {
-				hi = n
-			}
+		for lo, hi, ok := next(); ok; lo, hi, ok = next() {
 			for i := lo; i < hi; i++ {
 				out[i] = lb.label(at(i), sc)
 			}
 		}
 		put(sc)
-	}
-	wg.Add(workers)
-	for w := 1; w < workers; w++ {
-		go work()
-	}
-	work() // the coordinator participates, as in the merge phase
-	wg.Wait()
+	})
 	return out
 }
 

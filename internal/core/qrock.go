@@ -19,6 +19,18 @@ type QRockConfig struct {
 	Measure similarity.Measure
 	// Workers bounds parallelism in neighbor computation.
 	Workers int
+	// Seed drives the LSH hash family and recall sampler when
+	// LSHNeighbors is set; it has no other effect (QROCK draws no sample).
+	Seed int64
+	// LSHNeighbors switches the neighbor phase to the approximate
+	// MinHash/LSH pipeline (similarity.ComputeLSH). The component
+	// structure then reflects the recovered edges; the run's quality
+	// ledger lands in Stats.
+	LSHNeighbors bool
+	// LSHHashes and LSHBands tune the banding; zero means the
+	// similarity package defaults.
+	LSHHashes int
+	LSHBands  int
 }
 
 // QRock implements the QROCK observation (a well-known follow-on
@@ -46,8 +58,20 @@ func QRock(ts []dataset.Transaction, cfg QRockConfig) (*Result, error) {
 		return res, nil
 	}
 
-	nb := similarity.ComputeIndexed(ts, cfg.Theta, similarity.Options{Measure: rcfg.Measure, Workers: cfg.Workers})
+	var nb *similarity.Neighbors
+	if cfg.LSHNeighbors {
+		nb = similarity.ComputeLSH(ts, cfg.Theta, similarity.LSHOptions{
+			Hashes:  cfg.LSHHashes,
+			Bands:   cfg.LSHBands,
+			Seed:    cfg.Seed,
+			Measure: rcfg.Measure,
+			Workers: cfg.Workers,
+		})
+	} else {
+		nb = similarity.ComputeIndexed(ts, cfg.Theta, similarity.Options{Measure: rcfg.Measure, Workers: cfg.Workers})
+	}
 	res.Stats.AvgNeighbors, res.Stats.MaxNeighbors, _ = nb.Stats()
+	res.Stats.addLSH(nb.LSH)
 
 	uf := unionfind.New(n)
 	for i := 0; i < n; i++ {

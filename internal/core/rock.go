@@ -59,10 +59,39 @@ type Stats struct {
 	AvgNeighbors    float64 // m_a over the sample
 	MaxNeighbors    int     // m_m over the sample
 	LinkPairs       int     // undirected pairs with positive link count
+	LinkEntries     int64   // directed CSR link entries (2×LinkPairs; int64 — big tables pass 2³¹)
 	Merges          int
-	StoppedEarly    bool // ran out of cross links before reaching K
-	ClustersFound   int
-	FVal            float64 // the exponent f(θ) in effect
+	// The LSH quality ledger, populated when the neighbor phase ran the
+	// approximate pipeline (Config.LSHNeighbors / QRockConfig.LSHNeighbors;
+	// ChunkedCluster aggregates its sub-runs). Zero otherwise.
+	LSHCandidatePairs int64   // unique unordered candidate pairs banding generated
+	LSHVerifiedEdges  int64   // candidates that passed the exact θ-test
+	LSHRecallSampled  int     // rows sampled for the recall estimate (0 = not measured)
+	LSHRecall         float64 // sampled edge recall vs the exact neighbor relation
+	StoppedEarly      bool    // ran out of cross links before reaching K
+	ClustersFound     int
+	FVal              float64 // the exponent f(θ) in effect
+}
+
+// addLSH folds one neighbor run's LSH ledger into the stats.
+func (s *Stats) addLSH(l *similarity.LSHStats) {
+	if l == nil {
+		return
+	}
+	s.foldLSH(l.CandidatePairs, l.VerifiedEdges, l.RecallSampled, l.Recall)
+}
+
+// foldLSH accumulates ledger counts; the recall estimate is averaged
+// weighted by sampled rows, so an aggregate run (ChunkedCluster) reports
+// the recall over every sample its sub-runs drew.
+func (s *Stats) foldLSH(pairs, edges int64, sampled int, recall float64) {
+	s.LSHCandidatePairs += pairs
+	s.LSHVerifiedEdges += edges
+	if sampled > 0 {
+		tot := s.LSHRecallSampled + sampled
+		s.LSHRecall = (s.LSHRecall*float64(s.LSHRecallSampled) + recall*float64(sampled)) / float64(tot)
+		s.LSHRecallSampled = tot
+	}
 }
 
 // K returns the number of clusters found.
@@ -133,6 +162,7 @@ func Cluster(ts []dataset.Transaction, cfg Config) (*Result, error) {
 		nb = similarity.ComputeIndexed(local, cfg.Theta, simOpts)
 	}
 	res.Stats.AvgNeighbors, res.Stats.MaxNeighbors, _ = nb.Stats()
+	res.Stats.addLSH(nb.LSH)
 
 	// Phase 3: prune sparse points (paper: outliers have few neighbors).
 	kept, prunedLocal := pruneByDegree(nb, cfg.MinNeighbors)
@@ -148,6 +178,7 @@ func Cluster(ts []dataset.Transaction, cfg Config) (*Result, error) {
 	// path. Either way the table is bit-identical and deterministic.
 	lt := linkage.Build(keptNb, linkage.Options{Workers: cfg.Workers, SerialBelow: cfg.LinkSerialBelow})
 	res.Stats.LinkPairs = lt.Pairs()
+	res.Stats.LinkEntries = int64(lt.Entries())
 
 	// Phase 5: agglomerate. Small samples take the serial arena engine;
 	// larger ones (under Workers > 1) run parallel batched merge rounds.

@@ -289,4 +289,36 @@ func TestClusterWithLSHNeighbors(t *testing.T) {
 			t.Fatal("LSH path nondeterministic")
 		}
 	}
+
+	// The run's quality ledger must be populated — and absent on the
+	// exact run.
+	st := lsh.Stats
+	if st.LSHCandidatePairs <= 0 || st.LSHVerifiedEdges <= 0 || st.LSHCandidatePairs < st.LSHVerifiedEdges {
+		t.Fatalf("implausible LSH ledger: %+v", st)
+	}
+	if st.LSHRecallSampled <= 0 || st.LSHRecall <= 0 || st.LSHRecall > 1 {
+		t.Fatalf("recall estimate missing from ledger: %+v", st)
+	}
+	if e := exact.Stats; e.LSHCandidatePairs != 0 || e.LSHVerifiedEdges != 0 || e.LSHRecallSampled != 0 || e.LSHRecall != 0 {
+		t.Fatalf("exact run carries an LSH ledger: %+v", e)
+	}
+	if st.LinkEntries != 2*int64(st.LinkPairs) {
+		t.Fatalf("LinkEntries %d != 2×LinkPairs %d", st.LinkEntries, st.LinkPairs)
+	}
+}
+
+func TestStatsFoldLSHWeightsRecall(t *testing.T) {
+	var s Stats
+	s.foldLSH(100, 40, 60, 1.0)
+	s.foldLSH(50, 10, 0, 0) // sub-run with the estimator disabled
+	s.foldLSH(200, 80, 20, 0.6)
+	if s.LSHCandidatePairs != 350 || s.LSHVerifiedEdges != 130 {
+		t.Fatalf("counts not summed: %+v", s)
+	}
+	if s.LSHRecallSampled != 80 {
+		t.Fatalf("sampled rows = %d, want 80", s.LSHRecallSampled)
+	}
+	if want := (1.0*60 + 0.6*20) / 80; s.LSHRecall < want-1e-12 || s.LSHRecall > want+1e-12 {
+		t.Fatalf("recall = %g, want weighted mean %g", s.LSHRecall, want)
+	}
 }

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"github.com/rockclust/rock/internal/core"
 	"github.com/rockclust/rock/internal/dataset"
 	"github.com/rockclust/rock/internal/metrics"
 )
@@ -82,6 +83,22 @@ func compositionTable(labels []string, assign []int) string {
 func evalNote(name string, ev metrics.Eval) string {
 	return fmt.Sprintf("%s: accuracy r=%.4f, error e=%.4f, ace=%d, ARI=%.4f, NMI=%.4f, clustered=%d, outliers=%d",
 		name, ev.Accuracy, ev.Error, ev.AbsoluteError, ev.ARI, ev.NMI, ev.Clustered, ev.Outliers)
+}
+
+// linkStatsNote renders one ROCK run's pipeline ledger in the shared
+// form of the E-report notes: neighbor densities (the paper's m_a/m_m),
+// the CSR link table volume (link-entries is the directed entry count
+// the sharded builder materialized, 2× the undirected pairs), and the
+// outlier/merge counters. When the run used the approximate LSH
+// neighbor phase its quality ledger is appended.
+func linkStatsNote(st core.Stats) string {
+	s := fmt.Sprintf("stats: m_a=%.1f m_m=%d link-pairs=%d link-entries=%d pruned=%d weeded=%d merges=%d",
+		st.AvgNeighbors, st.MaxNeighbors, st.LinkPairs, st.LinkEntries, st.Pruned, st.Weeded, st.Merges)
+	if st.LSHCandidatePairs > 0 {
+		s += fmt.Sprintf("; lsh: candidates=%d verified=%d recall≈%.3f (%d rows sampled)",
+			st.LSHCandidatePairs, st.LSHVerifiedEdges, st.LSHRecall, st.LSHRecallSampled)
+	}
+	return s
 }
 
 // timeIt measures the wall-clock duration of f in seconds.

@@ -14,6 +14,10 @@ type Options struct {
 	// runs.
 	Quick bool
 	Seed  int64
+	// Long unlocks the million-point rows of the neighbor sweep
+	// (BenchNeighbors): a 10⁶-point LSH neighbor run and a full chunked
+	// clustering at that scale. Minutes of runtime; off by default.
+	Long bool
 }
 
 // Report is the outcome of one experiment.

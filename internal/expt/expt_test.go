@@ -2,6 +2,7 @@ package expt
 
 import (
 	"bytes"
+	"encoding/json"
 	"strconv"
 	"strings"
 	"testing"
@@ -180,4 +181,32 @@ func extractError(t *testing.T, rep *Report) float64 {
 	}
 	t.Fatalf("no error note in %v", rep.Notes)
 	return 0
+}
+
+func TestBenchNeighborsQuick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := BenchNeighbors(&buf, Options{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	var rep NeighborBenchReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Quick || rep.Long || len(rep.Rows) != 2 {
+		t.Fatalf("unexpected report shape: quick=%v long=%v rows=%d", rep.Quick, rep.Long, len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		if row.ExactSec <= 0 || row.RefSec <= 0 || row.LSHSec <= 0 {
+			t.Fatalf("missing timing in row %+v", row)
+		}
+		if !row.RecallMeasured || row.Recall < 0.9 {
+			t.Fatalf("row n=%d: recall %.4f (measured=%v), want measured ≥ 0.9", row.N, row.Recall, row.RecallMeasured)
+		}
+		if row.CandidatePairs < row.VerifiedEdges || row.VerifiedEdges <= 0 {
+			t.Fatalf("implausible ledger in row %+v", row)
+		}
+	}
+	if rep.Chunked != nil {
+		t.Fatal("chunked row present without -long")
+	}
 }

@@ -61,6 +61,7 @@ func runE5(opts Options) (*Report, error) {
 		Tables: []string{FormatTable(headers, rows), compositionTable(d.Labels, res.Assign)},
 		Notes: []string{
 			evalNote(fmt.Sprintf("ROCK (θ=0.8, k=%d) on %d funds", cfg.K, d.Len()), ev),
+			linkStatsNote(res.Stats),
 			"paper shape: bond funds, equity funds and precious-metals funds fall into separate clusters; metals sit alone (anti-correlated with equities).",
 		},
 	}, nil

@@ -66,6 +66,7 @@ func runE8(opts Options) (*Report, error) {
 			"Traditional centroid clusters (k=2):\n" + compositionTable(labels, trad.Assign),
 		},
 		Notes: []string{
+			linkStatsNote(rock.Stats),
 			"cross-group pairs reach Jaccard 0.50 — exactly the within-group similarity — but carry strictly fewer links (3 across vs 5 within; the family core pair {1,6,7}/{2,6,7} has no cross links at all).",
 			"on this 14-point toy both algorithms settle on the same split at k=2, absorbing the two genuinely ambiguous border transactions {1,2,6} and {1,2,7}; the link statistics are the paper's point — at scale, where similarity ties abound (see E1/E3), only the link-based criterion stays robust.",
 		},

@@ -81,8 +81,8 @@ func runE4(opts Options) (*Report, error) {
 		Notes: []string{
 			evalNote(fmt.Sprintf("ROCK (θ=0.8, k=20, sample %d + labeling)", cfg.SampleSize), ev),
 			fmt.Sprintf("against ground-truth species: ARI=%.4f NMI=%.4f", evSpecies.ARI, evSpecies.NMI),
-			fmt.Sprintf("clusters found: %d (%d mixed); stats: m_a=%.1f link-pairs=%d merges=%d stopped-early=%v",
-				res.K(), mixed, res.Stats.AvgNeighbors, res.Stats.LinkPairs, res.Stats.Merges, res.Stats.StoppedEarly),
+			fmt.Sprintf("clusters found: %d (%d mixed, stopped-early=%v); %s",
+				res.K(), mixed, res.Stats.StoppedEarly, linkStatsNote(res.Stats)),
 			"paper shape: asked for 20, merging runs out of cross links at 21 clusters; sizes highly uneven; every cluster pure except one mixed edible/poisonous cluster.",
 		},
 	}, nil

@@ -21,6 +21,7 @@ func runE7(opts Options) (*Report, error) {
 	}
 	s := Series{Name: "clustering error e"}
 	kSeries := Series{Name: "clusters found"}
+	var lastStats core.Stats
 	for _, n := range sizes {
 		cfg := core.Config{
 			Theta:        0.8,
@@ -38,6 +39,7 @@ func runE7(opts Options) (*Report, error) {
 		s.Y = append(s.Y, ev.Error)
 		kSeries.X = append(kSeries.X, float64(n))
 		kSeries.Y = append(kSeries.Y, float64(res.K()))
+		lastStats = res.Stats
 	}
 	// Chernoff bound: sample needed to catch half of a 48-record species
 	// (the engineered mixed family's poisonous side) with 99% confidence.
@@ -46,6 +48,7 @@ func runE7(opts Options) (*Report, error) {
 		Series: []Series{s, kSeries},
 		Notes: []string{
 			fmt.Sprintf("Chernoff bound: catching f=0.5 of a 48-record species w.p. 0.99 needs a sample of %d of %d.", bound, d.Len()),
+			fmt.Sprintf("largest sample (%d): %s", sizes[len(sizes)-1], linkStatsNote(lastStats)),
 			"paper shape: error stays low and flat for samples past the bound; small samples miss small species entirely (fewer clusters found).",
 		},
 	}, nil

@@ -22,6 +22,7 @@ func runE6(opts Options) (*Report, error) {
 	for ti, theta := range thetas {
 		series[ti].Name = fmt.Sprintf("θ=%.1f", theta)
 	}
+	var statNotes []string
 	for _, n := range ns {
 		d := synth.Basket(synth.BasketConfig{
 			Transactions:    n,
@@ -32,20 +33,25 @@ func runE6(opts Options) (*Report, error) {
 		})
 		for ti, theta := range thetas {
 			cfg := core.Config{Theta: theta, K: 10, Seed: 1}
+			var res *core.Result
 			secs := timeIt(func() {
-				if _, err := core.Cluster(d.Trans, cfg); err != nil {
+				var err error
+				if res, err = core.Cluster(d.Trans, cfg); err != nil {
 					panic(err) // configuration is static and valid
 				}
 			})
 			series[ti].X = append(series[ti].X, float64(n))
 			series[ti].Y = append(series[ti].Y, secs)
+			if n == ns[len(ns)-1] {
+				statNotes = append(statNotes, fmt.Sprintf("θ=%.1f at n=%d: %s", theta, n, linkStatsNote(res.Stats)))
+			}
 		}
 	}
 	return &Report{
 		Series: series,
-		Notes: []string{
+		Notes: append([]string{
 			"y-values are seconds of wall-clock time for the full ROCK pipeline (neighbors + links + merging).",
 			"paper shape: time grows superlinearly with the number of points and drops as θ rises (fewer neighbors ⇒ fewer links).",
-		},
+		}, statNotes...),
 	}, nil
 }

@@ -66,9 +66,7 @@ func runE2(opts Options) (*Report, error) {
 		Tables: []string{compositionTable(d.Labels, res.Assign)},
 		Notes: []string{
 			evalNote(fmt.Sprintf("ROCK (θ=%.2f, k=2)", cfg.Theta), ev),
-			fmt.Sprintf("stats: m_a=%.1f m_m=%d link-pairs=%d pruned=%d weeded=%d merges=%d",
-				res.Stats.AvgNeighbors, res.Stats.MaxNeighbors, res.Stats.LinkPairs,
-				res.Stats.Pruned, res.Stats.Weeded, res.Stats.Merges),
+			linkStatsNote(res.Stats),
 			"paper shape: one ≈95%-Democrat cluster and one ≈88%-Republican cluster, ~10% of records set aside as outliers (paper: 41 of 435).",
 		},
 	}

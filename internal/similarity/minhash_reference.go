@@ -1,0 +1,77 @@
+package similarity
+
+import (
+	"sort"
+
+	"github.com/rockclust/rock/internal/chunkwork"
+	"github.com/rockclust/rock/internal/dataset"
+)
+
+// ComputeLSHReference is the original prototype LSH implementation, kept
+// as the oracle fixture for the sort-based pipeline in ComputeLSH (the
+// repo's established discipline: every rewritten phase keeps its
+// predecessor and a byte-identity proof). It materializes the full
+// signature matrix, buckets each band through a map[uint64][]int32, and
+// accumulates per-point candidate sets in n maps — the allocation
+// behavior the pipeline exists to avoid. Same hash family, same band
+// keys, same defaulting: for every input, seed, and worker count its
+// neighbor lists equal ComputeLSH's exactly (TestLSHOracle).
+func ComputeLSHReference(ts []dataset.Transaction, theta float64, opts LSHOptions) *Neighbors {
+	opts = opts.withDefaults()
+	n := len(ts)
+	nb := &Neighbors{Lists: make([][]int32, n)}
+	if n == 0 {
+		return nb
+	}
+	sim := Options{Measure: opts.Measure}.measure()
+	as, bs, _ := lshHashFamily(opts.Seed, opts.Hashes)
+
+	// Signatures, computed in parallel.
+	sigs := make([][]uint32, n)
+	chunkwork.Rows(n, opts.workers(), 64, func(i int) {
+		sig := make([]uint32, opts.Hashes)
+		minhashSig(ts[i], as, bs, sig)
+		sigs[i] = sig
+	})
+
+	// Banded bucketing: transactions sharing a band key are candidates.
+	rowsPerBand := opts.Hashes / opts.Bands
+	candidates := make([]map[int32]struct{}, n)
+	for i := range candidates {
+		candidates[i] = make(map[int32]struct{})
+	}
+	for b := 0; b < opts.Bands; b++ {
+		buckets := make(map[uint64][]int32)
+		for i := 0; i < n; i++ {
+			if len(ts[i]) == 0 {
+				continue // empty transactions hash to the sentinel; skip
+			}
+			key := bandKey(sigs[i][b*rowsPerBand : (b+1)*rowsPerBand])
+			buckets[key] = append(buckets[key], int32(i))
+		}
+		for _, bucket := range buckets {
+			for x := 0; x < len(bucket); x++ {
+				for y := x + 1; y < len(bucket); y++ {
+					candidates[bucket[x]][bucket[y]] = struct{}{}
+					candidates[bucket[y]][bucket[x]] = struct{}{}
+				}
+			}
+		}
+	}
+
+	// Exact verification.
+	chunkwork.Rows(n, opts.workers(), 64, func(i int) {
+		var l []int32
+		if opts.IncludeSelf && sim(ts[i], ts[i]) >= theta {
+			l = append(l, int32(i))
+		}
+		for j := range candidates[i] {
+			if sim(ts[i], ts[int(j)]) >= theta {
+				l = append(l, j)
+			}
+		}
+		sort.Slice(l, func(a, b int) bool { return l[a] < l[b] })
+		nb.Lists[i] = l
+	})
+	return nb
+}

@@ -3,8 +3,8 @@ package similarity
 import (
 	"runtime"
 	"sort"
-	"sync"
 
+	"github.com/rockclust/rock/internal/chunkwork"
 	"github.com/rockclust/rock/internal/dataset"
 )
 
@@ -13,6 +13,10 @@ import (
 // Lists[i] is controlled by Options.IncludeSelf.
 type Neighbors struct {
 	Lists [][]int32
+	// LSH carries the quality ledger of the run when the lists were
+	// produced by the approximate ComputeLSH pipeline; nil for the exact
+	// computations.
+	LSH *LSHStats
 }
 
 // Len reports the number of points.
@@ -80,34 +84,21 @@ func Compute(ts []dataset.Transaction, theta float64, opts Options) *Neighbors {
 	n := len(ts)
 	sim := opts.measure()
 	nb := &Neighbors{Lists: make([][]int32, n)}
-	var wg sync.WaitGroup
-	rows := make(chan int)
-	for w := 0; w < opts.workers(); w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range rows {
-				var l []int32
-				for j := 0; j < n; j++ {
-					if j == i {
-						if opts.IncludeSelf && sim(ts[i], ts[i]) >= theta {
-							l = append(l, int32(j))
-						}
-						continue
-					}
-					if sim(ts[i], ts[j]) >= theta {
-						l = append(l, int32(j))
-					}
+	chunkwork.Rows(n, opts.workers(), 16, func(i int) {
+		var l []int32
+		for j := 0; j < n; j++ {
+			if j == i {
+				if opts.IncludeSelf && sim(ts[i], ts[i]) >= theta {
+					l = append(l, int32(j))
 				}
-				nb.Lists[i] = l
+				continue
 			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		rows <- i
-	}
-	close(rows)
-	wg.Wait()
+			if sim(ts[i], ts[j]) >= theta {
+				l = append(l, int32(j))
+			}
+		}
+		nb.Lists[i] = l
+	})
 	return nb
 }
 
@@ -150,60 +141,42 @@ func ComputeIndexed(ts []dataset.Transaction, theta float64, opts Options) *Neig
 	cm := Counted(opts.Measure)
 
 	nb := &Neighbors{Lists: make([][]int32, n)}
-	var wg sync.WaitGroup
-	type task struct{ lo, hi int }
-	tasks := make(chan task)
-	workers := opts.workers()
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			counts := make([]int32, n)
-			touched := make([]int32, 0, 256)
-			for tk := range tasks {
-				for i := tk.lo; i < tk.hi; i++ {
-					// Accumulate |ts[i] ∩ ts[j]| for every j sharing an item.
-					for _, it := range ts[i] {
-						for _, j := range postings[it] {
-							if int(j) == i {
-								continue
-							}
-							if counts[j] == 0 {
-								touched = append(touched, j)
-							}
-							counts[j]++
+	chunkwork.Run(n, opts.workers(), 64, func(next func() (int, int, bool)) {
+		counts := make([]int32, n) // per-worker scratch
+		touched := make([]int32, 0, 256)
+		for lo, hi, ok := next(); ok; lo, hi, ok = next() {
+			for i := lo; i < hi; i++ {
+				// Accumulate |ts[i] ∩ ts[j]| for every j sharing an item.
+				for _, it := range ts[i] {
+					for _, j := range postings[it] {
+						if int(j) == i {
+							continue
 						}
+						if counts[j] == 0 {
+							touched = append(touched, j)
+						}
+						counts[j]++
 					}
-					var l []int32
-					if opts.IncludeSelf && len(ts[i]) > 0 {
-						l = append(l, int32(i))
-					}
-					for _, j := range touched {
-						if cm != nil {
-							if cm(int(counts[j]), len(ts[i]), len(ts[j])) >= theta {
-								l = append(l, j)
-							}
-						} else if sim(ts[i], ts[int(j)]) >= theta {
+				}
+				var l []int32
+				if opts.IncludeSelf && len(ts[i]) > 0 {
+					l = append(l, int32(i))
+				}
+				for _, j := range touched {
+					if cm != nil {
+						if cm(int(counts[j]), len(ts[i]), len(ts[j])) >= theta {
 							l = append(l, j)
 						}
-						counts[j] = 0
+					} else if sim(ts[i], ts[int(j)]) >= theta {
+						l = append(l, j)
 					}
-					touched = touched[:0]
-					sort.Slice(l, func(a, b int) bool { return l[a] < l[b] })
-					nb.Lists[i] = l
+					counts[j] = 0
 				}
+				touched = touched[:0]
+				sort.Slice(l, func(a, b int) bool { return l[a] < l[b] })
+				nb.Lists[i] = l
 			}
-		}()
-	}
-	const chunk = 64
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
 		}
-		tasks <- task{lo, hi}
-	}
-	close(tasks)
-	wg.Wait()
+	})
 	return nb
 }
