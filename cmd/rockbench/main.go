@@ -12,6 +12,7 @@
 //	rockbench -assign      # frozen-model serving sweep → BENCH_assign.json
 //	rockbench -serve       # HTTP serving sweep → BENCH_serve.json
 //	rockbench -neighbors   # exact-vs-LSH neighbor sweep → BENCH_neighbors.json
+//	rockbench -stream      # streaming ingestion sweep → BENCH_stream.json
 package main
 
 import (
@@ -35,6 +36,7 @@ func main() {
 		assign = flag.Bool("assign", false, "run the frozen-model serving sweep (pairwise reference vs Model.Assign/AssignBatch + save/load cost) and write BENCH_assign.json (or -out)")
 		srv    = flag.Bool("serve", false, "run the HTTP serving sweep (concurrent load against an in-process rockserve stack) and write BENCH_serve.json (or -out)")
 		nbrs   = flag.Bool("neighbors", false, "run the neighbor-phase sweep (exact index vs prototype LSH vs sort-based LSH pipeline) and write BENCH_neighbors.json (or -out)")
+		strm   = flag.Bool("stream", false, "run the streaming-ingestion sweep (sustained ingest through a regime change with background refresh) and write BENCH_stream.json (or -out)")
 		long   = flag.Bool("long", false, "with -neighbors: add the million-point rows (10⁶ LSH neighbor run + chunked clustering end-to-end); minutes of runtime")
 	)
 	flag.Usage = usage
@@ -70,6 +72,10 @@ func main() {
 	}
 	if *nbrs {
 		runSweep(*out, "BENCH_neighbors.json", sweepOpts, expt.BenchNeighbors)
+		return
+	}
+	if *strm {
+		runSweep(*out, "BENCH_stream.json", sweepOpts, expt.BenchStream)
 		return
 	}
 
@@ -125,6 +131,11 @@ the performance-trajectory records — one bench mode per record:
            sort-based sharded LSH pipeline on hub-heavy baskets, with
            measured edge recall; add -long for the million-point rows
            including an end-to-end chunked clustering run)
+  -stream  streaming-ingestion sweep               → BENCH_stream.json
+           (sustained Ingest throughput through a regime change: stable,
+           drift-until-refreshed, and post-refresh phases, plus the
+           refresh ledger — detection delay, re-cluster cost, and the
+           atomic swap pause — at two worker settings)
 
 With no flags and no ids, every experiment runs at paper scale to stdout.
 

@@ -16,6 +16,20 @@
 // `kill -HUP`, and the server swaps generations without dropping a
 // request. SIGINT/SIGTERM shut down gracefully, draining in-flight
 // requests up to -drain-timeout.
+//
+// With -stream the server becomes a streaming ingestion daemon: two more
+// endpoints appear and the model maintains itself.
+//
+//	POST /ingest    admit arriving points (same body shape as /assign);
+//	                outliers are parked and tracked for drift
+//	GET  /streamz   admission counters, drift estimate, refresh ledger
+//
+// When the windowed outlier rate crosses -refresh-threshold, the daemon
+// re-clusters a retained sample plus the parked outliers in the
+// background and atomically swaps the refreshed model in — no ingest or
+// assign request is dropped across the swap. In stream mode the daemon
+// owns the model lifecycle, so SIGHUP reloads are disabled (an externally
+// loaded model would not share the streamer's item id space).
 package main
 
 import (
@@ -32,6 +46,7 @@ import (
 
 	"github.com/rockclust/rock/internal/core"
 	"github.com/rockclust/rock/internal/serve"
+	"github.com/rockclust/rock/internal/stream"
 )
 
 func main() {
@@ -42,6 +57,12 @@ func main() {
 		flushEvery   = flag.Duration("flush", 0, "flush a coalesced batch this long after it opens (0 = default 1ms)")
 		workers      = flag.Int("workers", 0, "AssignBatch workers per flush (0 = GOMAXPROCS)")
 		drainTimeout = flag.Duration("drain-timeout", 0, "how long reload and shutdown wait for in-flight requests (0 = default 30s)")
+
+		streamMode = flag.Bool("stream", false, "streaming ingestion mode: serve POST /ingest + GET /streamz and refresh the model on drift")
+		refresh    = flag.Float64("refresh-threshold", 0, "outlier rate that triggers a background re-cluster (0 = default 0.5; >1 disables)")
+		window     = flag.Int("drift-window", 0, "effective width in points of the outlier-rate estimate (0 = default 512)")
+		outBuf     = flag.Int("outlier-buffer", 0, "max parked outliers retained for the next refresh (0 = default 4096)")
+		retain     = flag.Int("retain", 0, "max admitted points retained as re-clustering context (0 = default 4096)")
 	)
 	flag.Parse()
 	if *modelPath == "" {
@@ -61,17 +82,50 @@ func main() {
 		Workers:      *workers,
 		DrainTimeout: *drainTimeout,
 	}
-	s := serve.New(m, cfg)
-	log.Printf("rockserve: serving %s (generation 1) on %s", m, *addr)
 
-	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	var (
+		handler http.Handler
+		s       *serve.Server
+		st      *stream.Streamer
+	)
+	if *streamMode {
+		st, err = stream.New(m, stream.Config{
+			Serve:            cfg,
+			RefreshThreshold: *refresh,
+			Window:           *window,
+			OutlierBuffer:    *outBuf,
+			RetainSample:     *retain,
+			OnSwap: func(gen uint64, m *core.Model) {
+				if gen > 1 {
+					log.Printf("rockserve: drift refresh swapped in generation %d (%s)", gen, m)
+				}
+			},
+		})
+		if err != nil {
+			log.Fatalf("rockserve: %v", err)
+		}
+		s = st.Server()
+		handler = st.Handler()
+		log.Printf("rockserve: streaming %s (generation 1) on %s", m, *addr)
+	} else {
+		s = serve.New(m, cfg)
+		handler = s.Handler()
+		log.Printf("rockserve: serving %s (generation 1) on %s", m, *addr)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 
 	// SIGHUP hot-swaps the model from -model; a failed load logs and keeps
-	// the current generation serving.
+	// the current generation serving. In stream mode the streamer owns the
+	// model lifecycle, so SIGHUP only logs.
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
 	go func() {
 		for range hup {
+			if *streamMode {
+				log.Printf("rockserve: ignoring SIGHUP in -stream mode; the streamer refreshes its own model (generation %d)", s.Generation())
+				continue
+			}
 			gen, drained, err := s.Reload(*modelPath)
 			if err != nil {
 				log.Printf("rockserve: SIGHUP reload failed, still serving generation %d: %v", s.Generation(), err)
@@ -104,9 +158,15 @@ func main() {
 		log.Fatalf("rockserve: %v", err)
 	}
 	<-done
-	st := s.Stats()
+	if st != nil {
+		st.Quiesce() // join any in-flight background refresh before reporting
+		ss := st.Stats()
+		log.Printf("rockserve: ingested %d points (%d assigned, %d outliers), %d refreshes (%d failed), final generation %d",
+			ss.Seen, ss.Assigned, ss.Outliers, ss.Refreshes, ss.FailedRefreshes, ss.Generation)
+	}
+	sst := s.Stats()
 	log.Printf("rockserve: served %d requests (%d queries, %d batches) over %.0fs",
-		st.Requests, st.Queries, st.Batches, st.UptimeSec)
+		sst.Requests, sst.Queries, sst.Batches, sst.UptimeSec)
 }
 
 // loadModel opens and validates a frozen model file.

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/rockclust/rock/internal/dataset"
+	"github.com/rockclust/rock/internal/vclock"
 )
 
 // Request batching / coalescing.
@@ -39,6 +40,7 @@ type batcher struct {
 	flushEvery time.Duration
 	workers    int
 	stats      *serverStats
+	clock      vclock.Clock // deadline timer source; vclock.Real in production
 
 	mu      sync.Mutex
 	seq     uint64 // open-batch id, so a stale deadline timer cannot flush a successor
@@ -65,7 +67,7 @@ func (b *batcher) submit(lm *liveModel, qs []dataset.Transaction) []int {
 	if b.lm == nil {
 		b.lm = lm
 		seq := b.seq
-		time.AfterFunc(b.flushEvery, func() { b.flushDeadline(seq) })
+		b.clock.AfterFunc(b.flushEvery, func() { b.flushDeadline(seq) })
 	}
 	b.queries = append(b.queries, qs...)
 	b.waiters = append(b.waiters, waiter{ch, len(qs)})

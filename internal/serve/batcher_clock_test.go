@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"github.com/rockclust/rock/internal/dataset"
+	"github.com/rockclust/rock/internal/vclock"
+)
+
+// TestBatcherDeadlineSeqGuard is the deadline-pathology regression test,
+// driven entirely by a virtual clock: a batch is size-flushed BEFORE its
+// deadline fires, and a new request opens the successor batch at the
+// exact instant the stale deadline timer goes off. Without the batcher's
+// seq guard the stale timer would flush the successor early (and, in the
+// worst interleaving, race its real deadline for a double flush); with
+// it, the new request must still be parked after the stale instant and
+// must be served exactly once, at its own deadline.
+func TestBatcherDeadlineSeqGuard(t *testing.T) {
+	fake := vclock.NewFake(time.Unix(0, 0))
+	s := New(rawModel(t, false), Config{MaxBatch: 2, FlushEvery: 10 * time.Millisecond, Clock: fake})
+
+	// Registered FIRST so that at the shared 10ms instant it fires before
+	// the stale batch timer (equal deadlines fire in creation order):
+	// this is what makes request D arrive "exactly as the deadline fires".
+	dResult := make(chan []int, 1)
+	fake.AfterFunc(10*time.Millisecond, func() {
+		go func() {
+			lm := s.acquire()
+			defer lm.release()
+			dResult <- s.batch.submit(lm, []dataset.Transaction{dataset.NewTransaction(10, 11, 4)})
+		}()
+		for s.batch.pendingWaiters() != 1 {
+			time.Sleep(50 * time.Microsecond)
+		}
+	})
+
+	// A parks at t=0, opening batch seq 0 with a deadline timer at 10ms.
+	aResult := make(chan []int, 1)
+	go func() {
+		lm := s.acquire()
+		defer lm.release()
+		aResult <- s.batch.submit(lm, []dataset.Transaction{dataset.NewTransaction(0, 1, 4)})
+	}()
+	for s.batch.pendingWaiters() != 1 {
+		time.Sleep(50 * time.Microsecond)
+	}
+
+	// B fills the batch: seq 0 is size-flushed well before its deadline,
+	// leaving its 10ms timer armed but stale.
+	lm := s.acquire()
+	gotB := s.batch.submit(lm, []dataset.Transaction{dataset.NewTransaction(0, 1, 2)})
+	lm.release()
+	if len(gotB) != 1 || gotB[0] != 0 {
+		t.Fatalf("B answered %v, want [0]", gotB)
+	}
+	if gotA := <-aResult; len(gotA) != 1 || gotA[0] != 0 {
+		t.Fatalf("A answered %v, want [0]", gotA)
+	}
+
+	// The 10ms instant: D parks (opening seq 1, deadline 20ms), then the
+	// STALE seq-0 timer fires against the open seq-1 batch.
+	fake.Advance(10 * time.Millisecond)
+	if n := s.batch.pendingWaiters(); n != 1 {
+		t.Fatalf("stale deadline timer flushed the successor batch early (%d waiters parked, want 1)", n)
+	}
+	select {
+	case got := <-dResult:
+		t.Fatalf("D was answered %v by the stale timer, before its own deadline", got)
+	default:
+	}
+
+	// D's own deadline serves it — exactly once.
+	fake.Advance(10 * time.Millisecond)
+	if gotD := <-dResult; len(gotD) != 1 || gotD[0] != 1 {
+		t.Fatalf("D answered %v, want [1]", gotD)
+	}
+	select {
+	case got := <-dResult:
+		t.Fatalf("D was answered twice; second answer %v", got)
+	case <-time.After(20 * time.Millisecond):
+	}
+	if st := s.Stats(); st.Batches != 2 {
+		t.Fatalf("%d flushes; want exactly 2 (A+B size flush, D deadline flush)", st.Batches)
+	}
+}

@@ -36,6 +36,7 @@ import (
 
 	"github.com/rockclust/rock/internal/core"
 	"github.com/rockclust/rock/internal/dataset"
+	"github.com/rockclust/rock/internal/vclock"
 )
 
 // Config parameterizes a Server. The zero value serves with the defaults
@@ -58,6 +59,11 @@ type Config struct {
 	// deadline still complete — the timeout only stops the reload
 	// response from waiting on them.
 	DrainTimeout time.Duration
+	// Clock supplies the batcher's flush-deadline timers (nil =
+	// vclock.Real). Tests inject a vclock.Fake to drive the
+	// size-or-deadline race deterministically; production callers leave
+	// it nil.
+	Clock vclock.Clock
 }
 
 // withDefaults fills the zero fields.
@@ -70,6 +76,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 30 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = vclock.Real()
 	}
 	return c
 }
@@ -161,6 +170,7 @@ func New(m *core.Model, cfg Config) *Server {
 		flushEvery: cfg.FlushEvery,
 		workers:    cfg.Workers,
 		stats:      s.stats,
+		clock:      cfg.Clock,
 	}
 	s.cur.Store(newLive(m, 1))
 	return s
@@ -223,6 +233,33 @@ func (s *Server) Reload(path string) (gen uint64, drained bool, err error) {
 	}
 	gen, drained = s.Swap(m)
 	return gen, drained, nil
+}
+
+// Submit answers one batch of queries (already in the served model's
+// item id space) through the coalescing batcher — the programmatic
+// equivalent of POST /assign, used by the streaming ingester and the
+// bench drivers. It pins the current generation for the duration of the
+// call, so the returned assignments are exactly what AssignBatch on that
+// generation's model computes, and the returned generation identifies
+// which model answered. Counted in the serving stats like an HTTP
+// request. Safe for concurrent use.
+func (s *Server) Submit(qs []dataset.Transaction) (assignments []int, gen uint64) {
+	start := s.cfg.Clock.Now()
+	lm := s.acquire()
+	defer lm.release()
+	assignments = s.batch.submit(lm, qs)
+
+	s.stats.requests.Add(1)
+	s.stats.queries.Add(int64(len(qs)))
+	for _, ci := range assignments {
+		if ci >= 0 {
+			s.stats.assigned.Add(1)
+		} else {
+			s.stats.outliers.Add(1)
+		}
+	}
+	s.stats.latency.observe(s.cfg.Clock.Now().Sub(start))
+	return assignments, lm.gen
 }
 
 // Stats snapshots the serving counters.

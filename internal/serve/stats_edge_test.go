@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLatencyHistQuantileEdges pins the quantile estimator's boundary
+// behavior: the empty histogram, a single observation, all mass in one
+// bucket (where interpolation must be exactly linear — bucket widths are
+// powers of two, so the expected values are exact in float64), the
+// sub-microsecond bucket whose floor is forced to zero, and observations
+// beyond the histogram's horizon, which saturate in the last bucket
+// rather than overflow.
+func TestLatencyHistQuantileEdges(t *testing.T) {
+	// Empty: every quantile, including the extremes, estimates zero.
+	var empty latencyHist
+	for _, q := range []float64{0, 0.001, 0.5, 0.999, 1} {
+		if got := empty.quantile(q); got != 0 {
+			t.Fatalf("empty histogram q=%v estimated %v", q, got)
+		}
+	}
+
+	// Single observation at 100µs lands in [64µs, 128µs): q=0 pins the
+	// bucket floor, q=1 the ceiling, and interior quantiles interpolate
+	// monotonically between them.
+	var one latencyHist
+	one.observe(100 * time.Microsecond)
+	if got := one.quantile(0); got != 64*time.Microsecond {
+		t.Fatalf("single obs q=0: %v, want bucket floor 64µs", got)
+	}
+	if got := one.quantile(1); got != 128*time.Microsecond {
+		t.Fatalf("single obs q=1: %v, want bucket ceiling 128µs", got)
+	}
+	if lo, hi := one.quantile(0.25), one.quantile(0.75); lo > hi || lo < 64*time.Microsecond || hi > 128*time.Microsecond {
+		t.Fatalf("single obs interior quantiles [%v, %v] leave the bucket or invert", lo, hi)
+	}
+
+	// All mass in one bucket: 1000 observations of 5ms fill [4096µs,
+	// 8192µs) and nothing else, so interpolation is exactly linear.
+	var mass latencyHist
+	for i := 0; i < 1000; i++ {
+		mass.observe(5 * time.Millisecond)
+	}
+	for q, want := range map[float64]time.Duration{
+		0.25: 5120 * time.Microsecond,
+		0.50: 6144 * time.Microsecond,
+		0.75: 7168 * time.Microsecond,
+	} {
+		if got := mass.quantile(q); got != want {
+			t.Fatalf("one-bucket mass q=%v: %v, want %v", q, got, want)
+		}
+	}
+
+	// Sub-microsecond observations: bucket 0's floor is forced to 0, so
+	// the estimate cannot exceed 2µs and q=0 is exactly zero.
+	var tiny latencyHist
+	tiny.observe(500 * time.Nanosecond)
+	if got := tiny.quantile(0); got != 0 {
+		t.Fatalf("sub-µs q=0: %v, want 0", got)
+	}
+	if got := tiny.quantile(0.5); got != 1*time.Microsecond {
+		t.Fatalf("sub-µs q=0.5: %v, want 1µs (midpoint of [0, 2µs))", got)
+	}
+
+	// Beyond the horizon: multi-hour latencies saturate in the last
+	// bucket; quantiles stay within its bounds instead of overflowing.
+	var huge latencyHist
+	huge.observe(2 * time.Hour)
+	huge.observe(3 * time.Hour)
+	lo := time.Duration(1<<31) * time.Microsecond
+	hi := time.Duration(1<<32) * time.Microsecond
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		if got := huge.quantile(q); got < lo || got > hi {
+			t.Fatalf("beyond-horizon q=%v: %v, outside the last bucket [%v, %v]", q, got, lo, hi)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package stream
+
+// Outlier-rate drift detection.
+//
+// The streamer needs one number: "what fraction of recently arriving
+// points does the frozen model fail to place?" A full sliding window
+// would retain W booleans per estimator; an exponentially weighted moving
+// average needs two floats and is the standard streaming estimator for
+// exactly this shape of signal. The window parameter W maps to the
+// smoothing factor α = 2/(W+1) (the same convention as the classic
+// W-period EMA), so the estimate carries an effective memory of roughly
+// the last W points: after W consecutive identical observations the
+// estimate has moved ~86% of the way to the new level.
+//
+// The estimator is measured in points, not wall time, which keeps the
+// drift detector deterministic for a given point sequence — the property
+// the soak tests assert — and makes the detection delay bound a count of
+// points rather than a duration that depends on ingest rate.
+
+// rateEWMA tracks an exponentially weighted moving average of a 0/1
+// indicator stream. Not goroutine-safe; the streamer updates it under its
+// mutex.
+type rateEWMA struct {
+	alpha float64
+	rate  float64
+	n     int64 // observations since the last reset
+}
+
+// newRateEWMA sizes the estimator for an effective window of W points.
+func newRateEWMA(window int) *rateEWMA {
+	return &rateEWMA{alpha: 2 / (float64(window) + 1)}
+}
+
+// observe folds one indicator (1 = outlier, 0 = assigned) into the
+// estimate. The first observation after a reset seeds the level directly;
+// warm-up gating is the caller's job (the streamer requires Warmup
+// observations before the detector may fire).
+func (e *rateEWMA) observe(x float64) {
+	if e.n == 0 {
+		e.rate = x
+	} else {
+		e.rate += e.alpha * (x - e.rate)
+	}
+	e.n++
+}
+
+// value returns the current rate estimate in [0,1].
+func (e *rateEWMA) value() float64 { return e.rate }
+
+// count returns the observations folded in since the last reset.
+func (e *rateEWMA) count() int64 { return e.n }
+
+// reset re-arms the estimator: the level and the observation count both
+// clear, so the detector must re-warm over a fresh window before it can
+// fire again — the post-refresh cooldown.
+func (e *rateEWMA) reset() {
+	e.rate = 0
+	e.n = 0
+}

@@ -1,0 +1,101 @@
+package stream
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestOutlierRateEstimatorProperty is the drift-detector property test:
+// against seeded Bernoulli(p) indicator streams the EWMA must (a)
+// converge to p within a tolerance derived from its stationary variance,
+// and (b) after its warmup window never wander far enough above p to
+// cross a threshold set margin above the true rate — i.e. the detector
+// cannot fire on a stream whose true rate sits below threshold − margin.
+//
+// The tolerance is principled, not tuned: a W-window EWMA over iid
+// Bernoulli(p) has stationary standard deviation
+// σ = sqrt(p(1−p)·α/(2−α)) with α = 2/(W+1), and the max of ~N/W
+// effectively independent excursions stays within a few σ. We allow 6σ
+// plus a small absolute floor. Seeds are fixed; the test is fully
+// deterministic — if it passes once it passes always.
+func TestOutlierRateEstimatorProperty(t *testing.T) {
+	const window = 256
+	alpha := 2.0 / (window + 1)
+	for _, p := range []float64{0.01, 0.1, 0.5} {
+		sigma := math.Sqrt(p * (1 - p) * alpha / (2 - alpha))
+		margin := 6*sigma + 0.01
+		n := 50 * window
+
+		est := newRateEWMA(window)
+		rng := rand.New(rand.NewSource(int64(1000*p) + 42))
+		maxAfterWarmup := 0.0
+		for i := 0; i < n; i++ {
+			x := 0.0
+			if rng.Float64() < p {
+				x = 1
+			}
+			est.observe(x)
+			if est.count() >= window && est.value() > maxAfterWarmup {
+				maxAfterWarmup = est.value()
+			}
+		}
+		if est.count() != int64(n) {
+			t.Fatalf("p=%v: count %d, want %d", p, est.count(), n)
+		}
+		// (a) convergence: the final estimate sits within the tolerance
+		// band around the true rate.
+		if d := math.Abs(est.value() - p); d > margin {
+			t.Errorf("p=%v: final estimate %.4f is %.4f from truth, tolerance %.4f", p, est.value(), d, margin)
+		}
+		// (b) no spurious firing: a threshold at p+margin is never
+		// crossed after warmup, so a detector with threshold T can only
+		// fire when the true rate exceeds T − margin.
+		if maxAfterWarmup >= p+margin {
+			t.Errorf("p=%v: post-warmup max %.4f crossed p+margin = %.4f — detector would fire below threshold−margin", p, maxAfterWarmup, p+margin)
+		}
+	}
+}
+
+// TestOutlierRateEstimatorDetects is the other half of the property: when
+// the true rate jumps ABOVE the threshold, the estimate crosses it within
+// a bounded number of points. For a jump from ~0 to 1 the deterministic
+// crossing time of a W-window EWMA past level T is ln(1−T)/ln(1−α)
+// points (≈ 0.55·W for T = 0.5) — we assert crossing within W points of
+// the changepoint, the bound the soak test leans on.
+func TestOutlierRateEstimatorDetects(t *testing.T) {
+	const window = 64
+	const threshold = 0.5
+	est := newRateEWMA(window)
+	for i := 0; i < 10*window; i++ {
+		est.observe(0) // long stable phase, rate pinned at 0
+	}
+	crossed := -1
+	for i := 1; i <= window; i++ {
+		est.observe(1) // changepoint: every point is now an outlier
+		if est.value() >= threshold {
+			crossed = i
+			break
+		}
+	}
+	if crossed < 0 {
+		t.Fatalf("estimate never crossed %.2f within %d all-outlier points (final %.4f)", threshold, window, est.value())
+	}
+	// The analytic crossing time; the discrete estimate may lag one point.
+	alpha := 2.0 / (window + 1)
+	want := int(math.Ceil(math.Log(1-threshold)/math.Log(1-alpha))) + 1
+	if crossed > want {
+		t.Fatalf("crossed after %d points, analytic bound %d", crossed, want)
+	}
+
+	// reset() re-arms: count clears so warmup gating starts over, and the
+	// level restarts from the next observation.
+	est.reset()
+	if est.count() != 0 || est.value() != 0 {
+		t.Fatalf("reset left count=%d value=%v", est.count(), est.value())
+	}
+	est.observe(1)
+	if est.value() != 1 {
+		t.Fatalf("first post-reset observation should seed the level, got %v", est.value())
+	}
+}

@@ -1,0 +1,108 @@
+package stream
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"github.com/rockclust/rock/internal/dataset"
+)
+
+// HTTP surface of the streaming loop. The streamer's handler mounts the
+// whole serving stack (POST /assign, GET /healthz, GET /stats,
+// POST /-/reload) and adds the two online-loop endpoints:
+//
+//	POST /ingest   admit a batch of arriving points: assignment through
+//	               the pinned generation, outliers parked, drift tracked
+//	GET  /streamz  the streaming counters (drift estimate, refresh ledger)
+//
+// /ingest and /assign accept the same two query representations, but
+// differ in vocabulary semantics: /assign translates names per-request
+// against the pinned model's frozen vocabulary, while /ingest interns
+// unknown names permanently into the streamer's id space — an ingested
+// item is part of the stream's universe and may become a real model item
+// after the next refresh.
+
+// IngestRequest is the POST /ingest body. Exactly one of Queries (item
+// names) or IDs (raw ids in the streamer's id space) must be set.
+type IngestRequest struct {
+	Queries [][]string `json:"queries,omitempty"`
+	IDs     [][]int32  `json:"ids,omitempty"`
+}
+
+// IngestResponse answers POST /ingest.
+type IngestResponse struct {
+	Assignments []int   `json:"assignments"`
+	Generation  uint64  `json:"generation"`
+	OutlierRate float64 `json:"outlier_rate"`
+	Refreshing  bool    `json:"refreshing"`
+}
+
+// Handler returns the streamer's HTTP surface: the embedded serving
+// stack's endpoints plus POST /ingest and GET /streamz.
+func (s *Streamer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", s.srv.Handler())
+	mux.HandleFunc("POST /ingest", s.handleIngest)
+	mux.HandleFunc("GET /streamz", s.handleStreamz)
+	return mux
+}
+
+func (s *Streamer) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req IngestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	var res IngestResult
+	switch {
+	case req.Queries != nil && req.IDs != nil:
+		httpError(w, http.StatusBadRequest, errors.New("request sets both queries and ids; send one"))
+		return
+	case req.Queries != nil:
+		var err error
+		res, err = s.IngestNames(req.Queries)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+	case req.IDs != nil:
+		ts := make([]dataset.Transaction, len(req.IDs))
+		for i, q := range req.IDs {
+			items := make([]dataset.Item, len(q))
+			for j, id := range q {
+				if id < 0 {
+					httpError(w, http.StatusBadRequest, fmt.Errorf("query %d has negative item id %d", i, id))
+					return
+				}
+				items[j] = dataset.Item(id)
+			}
+			ts[i] = dataset.NewTransaction(items...)
+		}
+		res = s.Ingest(ts)
+	default:
+		httpError(w, http.StatusBadRequest, errors.New("request carries neither queries nor ids"))
+		return
+	}
+	writeJSON(w, http.StatusOK, IngestResponse{
+		Assignments: res.Assignments,
+		Generation:  res.Generation,
+		OutlierRate: res.OutlierRate,
+		Refreshing:  res.Refreshing,
+	})
+}
+
+func (s *Streamer) handleStreamz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

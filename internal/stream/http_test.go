@@ -1,0 +1,150 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/rockclust/rock/internal/core"
+	"github.com/rockclust/rock/internal/dataset"
+	"github.com/rockclust/rock/internal/serve"
+	"github.com/rockclust/rock/internal/vclock"
+)
+
+// vocabStreamModel freezes a small named-item model for the HTTP and
+// fuzz tests; built once, shared read-only (frozen models are immutable).
+var vocabStreamModel = sync.OnceValue(func() *core.Model {
+	g := newRegime(0, 2, 11)
+	ts, _ := g.batch(120)
+	v := dataset.NewVocabulary()
+	d := &dataset.Dataset{Vocab: v}
+	for _, tx := range ts {
+		items := make([]dataset.Item, len(tx))
+		for i, it := range tx {
+			items[i] = v.Intern(fmt.Sprintf("i%d", it))
+		}
+		d.Trans = append(d.Trans, dataset.NewTransaction(items...))
+	}
+	cfg := core.Config{Theta: soakTheta, K: 2, Seed: 1}
+	res, err := core.Cluster(d.Trans, cfg)
+	if err != nil {
+		panic(err)
+	}
+	m, err := core.FreezeDataset(d, res, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+})
+
+// newHTTPStreamer builds a streamer with the detector disabled and a
+// size-1 batch so every request flushes without clock advance.
+func newHTTPStreamer(t testing.TB) *Streamer {
+	t.Helper()
+	st, err := New(vocabStreamModel(), Config{
+		Serve:            serve.Config{MaxBatch: 1},
+		RefreshThreshold: 2, // the rate never reaches 2: detector off
+		Clock:            vclock.NewFake(time.Unix(0, 0)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestStreamHTTP drives the streamer's HTTP surface end to end: /ingest
+// with names and with ids, the validation rejections, /streamz, and the
+// embedded serving stack's /assign and /healthz reached through the same
+// handler.
+func TestStreamHTTP(t *testing.T) {
+	st := newHTTPStreamer(t)
+	srv := httptest.NewServer(st.Handler())
+	defer srv.Close()
+
+	post := func(path, body string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Post(srv.URL+path, "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, buf.Bytes()
+	}
+
+	// Names: one in-vocabulary query, one unknown-only query.
+	code, body := post("/ingest", `{"queries":[["i0","i1","i2"],["brand-new"]]}`)
+	if code != http.StatusOK {
+		t.Fatalf("ingest names: status %d: %s", code, body)
+	}
+	var res IngestResponse
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assignments) != 2 || res.Generation != 1 {
+		t.Fatalf("ingest names response: %+v", res)
+	}
+	if res.Assignments[1] != -1 {
+		t.Fatalf("unknown-only query assigned %d, want -1", res.Assignments[1])
+	}
+
+	// IDs.
+	code, body = post("/ingest", `{"ids":[[0,1,2]]}`)
+	if code != http.StatusOK {
+		t.Fatalf("ingest ids: status %d: %s", code, body)
+	}
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assignments) != 1 {
+		t.Fatalf("ingest ids response: %+v", res)
+	}
+
+	// Rejections: both representations, neither, negative id, bad JSON.
+	for name, body := range map[string]string{
+		"both":        `{"queries":[["a"]],"ids":[[1]]}`,
+		"neither":     `{}`,
+		"negative id": `{"ids":[[-3]]}`,
+		"bad json":    `{nope`,
+	} {
+		if code, _ := post("/ingest", body); code != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", name, code)
+		}
+	}
+
+	// /streamz reflects the two accepted batches (3 points).
+	resp, err := http.Get(srv.URL + "/streamz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats Stats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Seen != 3 || stats.Generation != 1 {
+		t.Fatalf("streamz: %+v", stats)
+	}
+
+	// The embedded serving stack is mounted under the same handler.
+	code, body = post("/assign", `{"queries":[["i0","i1","i2"]]}`)
+	if code != http.StatusOK {
+		t.Fatalf("embedded /assign: status %d: %s", code, body)
+	}
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("embedded /healthz: status %d", resp.StatusCode)
+	}
+}

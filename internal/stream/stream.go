@@ -1,0 +1,483 @@
+// Package stream runs the paper's "cluster a sample, label the rest"
+// loop forever: a long-lived Streamer admits arriving points against the
+// currently frozen rock model (the labeling phase's θ-test, served
+// through the coalescing batcher of internal/serve), parks the points the
+// model cannot place in a bounded outlier buffer, and watches a windowed
+// estimate of the outlier rate. When the rate crosses the refresh
+// threshold — the frozen model no longer describes the arriving
+// distribution — the streamer re-clusters a retained sample of admitted
+// points together with the accumulated outliers in the background,
+// freezes the result, and swaps it in atomically through the serving
+// stack's generation-refcount machinery. Assignment traffic never stops:
+// requests pinned to the retiring generation finish on it, new requests
+// land on the refreshed model, and no request is ever dropped or answered
+// by a generation it was not pinned to.
+//
+// The admission test is Squeezer-shaped (one pass, compare the arriving
+// point against per-cluster summaries, admit or park), but the summary is
+// ROCK's own labeling index, so admission is bit-identical to what the
+// offline labeling phase would have decided. Drift detection is measured
+// in points, not wall time: the EWMA over the last ~Window indicators is
+// deterministic for a given point sequence, which is what lets the soak
+// tests assert a bounded detection delay with no sleeps and no flakes.
+//
+// Item id discipline: the streamer owns the id space. A model frozen with
+// a vocabulary seeds the streamer's name→id table; names never seen
+// before are interned permanently (monotonically growing ids), so parked
+// outliers, the retained sample, and every query live in ONE id space
+// across generations — a refreshed model is frozen over that same space,
+// which is what makes "cluster the outliers later" coherent. Models
+// frozen from raw ids skip translation; callers must then send ids.
+package stream
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"github.com/rockclust/rock/internal/core"
+	"github.com/rockclust/rock/internal/dataset"
+	"github.com/rockclust/rock/internal/serve"
+	"github.com/rockclust/rock/internal/similarity"
+	"github.com/rockclust/rock/internal/vclock"
+)
+
+// Config parameterizes a Streamer. The zero value works: every field has
+// a default, and the refresh clustering parameters are inherited from the
+// initial model.
+type Config struct {
+	// Cluster parameterizes the background re-cluster runs. Zero Theta,
+	// K, and Measure inherit the initial model's frozen values; Workers,
+	// sampling, and the phase-crossover knobs apply as in core.Cluster.
+	// The measure must be (or default to) a built-in similarity — the
+	// refreshed model has to freeze.
+	Cluster core.Config
+	// Serve parameterizes the embedded serving stack (batch size, flush
+	// deadline, AssignBatch workers, drain timeout). Its Clock defaults
+	// to Config.Clock.
+	Serve serve.Config
+
+	// RefreshThreshold is the outlier-rate level that triggers a
+	// background refresh (default 0.5). A threshold above 1 disables the
+	// detector — the rate estimate never exceeds 1.
+	RefreshThreshold float64
+	// Window is the effective width, in points, of the outlier-rate
+	// EWMA (default 512).
+	Window int
+	// Warmup is how many points the estimator must absorb after a reset
+	// before the detector may fire (default Window). Prevents the first
+	// few arrivals from triggering a refresh off a seed estimate.
+	Warmup int
+	// MinRefreshOutliers is the fewest parked outliers a refresh needs
+	// (default 32) — re-clustering a near-empty buffer cannot improve
+	// the model.
+	MinRefreshOutliers int
+	// OutlierBuffer bounds the parked-outlier ring (default 4096). When
+	// full, the oldest parked point is dropped and counted in
+	// Stats.DroppedOutliers.
+	OutlierBuffer int
+	// RetainSample bounds the reservoir of admitted points retained as
+	// re-clustering context (default 4096). The reservoir is a uniform
+	// sample of everything admitted so far, seeded by Seed.
+	RetainSample int
+	// LSHAbove switches the refresh run's neighbor phase to the LSH
+	// pipeline when the re-cluster input (reservoir + outliers) reaches
+	// this many points (default 50000; negative disables).
+	LSHAbove int
+	// Seed drives the retained-sample reservoir and the refresh runs'
+	// randomized steps.
+	Seed int64
+
+	// Clock supplies all timing (nil = vclock.Real). Tests inject a
+	// vclock.Fake so the batcher deadlines and refresh bookkeeping are
+	// deterministic.
+	Clock vclock.Clock
+	// OnSwap, when set, is called once with the initial model at
+	// generation 1, then after every refresh with the newly serving
+	// generation and model — the hook the soak tests use to verify no
+	// assignment was ever misattributed, and rockserve uses to log.
+	OnSwap func(gen uint64, m *core.Model)
+}
+
+// withDefaults fills the zero fields (the Cluster inheritance needs the
+// initial model and happens in New).
+func (c Config) withDefaults() Config {
+	if c.RefreshThreshold <= 0 {
+		c.RefreshThreshold = 0.5
+	}
+	if c.Window <= 0 {
+		c.Window = 512
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = c.Window
+	}
+	if c.MinRefreshOutliers <= 0 {
+		c.MinRefreshOutliers = 32
+	}
+	if c.OutlierBuffer <= 0 {
+		c.OutlierBuffer = 4096
+	}
+	if c.RetainSample <= 0 {
+		c.RetainSample = 4096
+	}
+	if c.LSHAbove == 0 {
+		c.LSHAbove = 50000
+	}
+	if c.Clock == nil {
+		c.Clock = vclock.Real()
+	}
+	if c.Serve.Clock == nil {
+		c.Serve.Clock = c.Clock
+	}
+	return c
+}
+
+// IngestResult answers one Ingest call.
+type IngestResult struct {
+	// Assignments holds one cluster index per ingested point in input
+	// order, -1 for points parked as outliers — exactly what the
+	// answering generation's Model.AssignBatch computes.
+	Assignments []int
+	// Generation identifies the model generation that answered.
+	Generation uint64
+	// OutlierRate is the windowed outlier-rate estimate after this
+	// batch.
+	OutlierRate float64
+	// Refreshing reports whether a background refresh was in flight
+	// when the batch completed.
+	Refreshing bool
+}
+
+// Stats snapshots the streaming loop for monitoring and the soak tests.
+type Stats struct {
+	Generation  uint64  `json:"generation"`
+	Seen        int64   `json:"seen"`
+	Assigned    int64   `json:"assigned"`
+	Outliers    int64   `json:"outliers"`
+	OutlierRate float64 `json:"outlier_rate"`
+
+	PendingOutliers int   `json:"pending_outliers"`
+	DroppedOutliers int64 `json:"dropped_outliers"`
+	RetainedSample  int   `json:"retained_sample"`
+
+	Refreshing        bool    `json:"refreshing"`
+	Refreshes         int64   `json:"refreshes"`
+	FailedRefreshes   int64   `json:"failed_refreshes"`
+	LastTriggerSeen   int64   `json:"last_trigger_seen"`
+	LastRefreshPoints int     `json:"last_refresh_points"`
+	LastRefreshLSH    bool    `json:"last_refresh_lsh"`
+	LastRefreshSec    float64 `json:"last_refresh_sec"`
+	LastSwapPauseSec  float64 `json:"last_swap_pause_sec"`
+}
+
+// Streamer is the long-lived ingestion loop. Create one with New; Ingest,
+// IngestNames, Stats, and Quiesce are safe for concurrent use.
+type Streamer struct {
+	cfg   Config
+	srv   *serve.Server
+	clock vclock.Clock
+
+	mu              sync.Mutex
+	names           []string                // streamer-owned vocabulary; nil = raw-id mode
+	byName          map[string]dataset.Item // name → id over names
+	est             *rateEWMA               // windowed outlier-rate estimate
+	rng             *rand.Rand              // reservoir replacement draws
+	outRing         []dataset.Transaction   // parked-outlier ring, len == OutlierBuffer
+	outHead, outLen int
+	reservoir       []dataset.Transaction // retained sample of admitted points
+	resSeen         int64                 // admitted points offered to the reservoir
+
+	seen, admitted, parked, dropped int64
+	refreshing                      bool
+	refreshWG                       sync.WaitGroup
+
+	refreshes, failedRefreshes int64
+	lastTriggerSeen            int64
+	lastRefreshPoints          int
+	lastRefreshLSH             bool
+	lastRefreshSec             float64
+	lastSwapPauseSec           float64
+}
+
+// New builds a Streamer serving the given initial model at generation 1.
+// Refresh clustering parameters left zero in cfg.Cluster inherit the
+// model's frozen θ, cluster count, and measure.
+func New(m *core.Model, cfg Config) (*Streamer, error) {
+	cfg = cfg.withDefaults()
+	cc := &cfg.Cluster
+	if cc.Theta == 0 {
+		cc.Theta = m.Theta()
+	}
+	if cc.K == 0 {
+		cc.K = m.K()
+	}
+	if cc.Measure == nil {
+		cc.Measure = similarity.ByName(m.MeasureName())
+	}
+	// The refresh input is already a bounded subsample (reservoir +
+	// outlier ring), and the drifted regime's points in it are few by
+	// construction — subsampling AGAIN at labeling time would leave the
+	// new clusters with one or two labeled points and gut admission
+	// quality. Label with whole clusters unless the caller says otherwise;
+	// MaxLabelPoints still caps the per-cluster cost.
+	if cc.LabelFraction == 0 {
+		cc.LabelFraction = 1
+	}
+	if err := cc.Validate(); err != nil {
+		return nil, fmt.Errorf("stream: refresh config: %w", err)
+	}
+	if similarity.Name(cc.Measure) == "" {
+		return nil, fmt.Errorf("stream: refresh measure must be a built-in similarity — the refreshed model has to freeze")
+	}
+	s := &Streamer{
+		cfg:     cfg,
+		srv:     serve.New(m, cfg.Serve),
+		clock:   cfg.Clock,
+		est:     newRateEWMA(cfg.Window),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		outRing: make([]dataset.Transaction, cfg.OutlierBuffer),
+	}
+	if items := m.Items(); items != nil {
+		s.names = items
+		s.byName = make(map[string]dataset.Item, len(items))
+		for id, name := range items {
+			s.byName[name] = dataset.Item(id)
+		}
+	}
+	if cfg.OnSwap != nil {
+		cfg.OnSwap(1, m)
+	}
+	return s, nil
+}
+
+// Server exposes the embedded serving stack: its Handler carries the
+// /assign, /healthz, /stats, and /-/reload endpoints, and its Stats the
+// batching counters. Swapping models through it directly is the
+// streamer's job — use the refresh machinery, not Server.Swap.
+func (s *Streamer) Server() *serve.Server { return s.srv }
+
+// Generation returns the currently serving model generation.
+func (s *Streamer) Generation() uint64 { return s.srv.Generation() }
+
+// Ingest admits one batch of arriving points, already in the streamer's
+// item id space. Every point is assigned through the coalescing batcher
+// against one pinned model generation; points the θ-test cannot place are
+// parked in the outlier buffer and move the drift estimate. Crossing the
+// refresh threshold starts (at most one) background re-cluster; Ingest
+// never blocks on it.
+func (s *Streamer) Ingest(ts []dataset.Transaction) IngestResult {
+	if len(ts) == 0 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return IngestResult{Assignments: []int{}, Generation: s.srv.Generation(), OutlierRate: s.est.value(), Refreshing: s.refreshing}
+	}
+	out, gen := s.srv.Submit(ts)
+
+	s.mu.Lock()
+	for i, ci := range out {
+		s.seen++
+		if ci < 0 {
+			s.parked++
+			s.est.observe(1)
+			s.parkLocked(ts[i].Clone())
+		} else {
+			s.admitted++
+			s.est.observe(0)
+			s.retainLocked(ts[i])
+		}
+	}
+	rate := s.est.value()
+	if !s.refreshing &&
+		s.est.count() >= int64(s.cfg.Warmup) &&
+		rate >= s.cfg.RefreshThreshold &&
+		s.outLen >= s.cfg.MinRefreshOutliers {
+		s.refreshing = true
+		s.lastTriggerSeen = s.seen
+		sample, names := s.refreshInputLocked()
+		s.refreshWG.Add(1)
+		go s.refresh(sample, names)
+	}
+	refreshing := s.refreshing
+	s.mu.Unlock()
+	return IngestResult{Assignments: out, Generation: gen, OutlierRate: rate, Refreshing: refreshing}
+}
+
+// IngestNames is Ingest for points arriving as item names: names
+// translate through the streamer's own vocabulary, and names never seen
+// before are interned permanently so the id space stays stable across
+// refreshes. Requires an initial model frozen with a vocabulary.
+func (s *Streamer) IngestNames(queries [][]string) (IngestResult, error) {
+	s.mu.Lock()
+	if s.byName == nil {
+		s.mu.Unlock()
+		return IngestResult{}, fmt.Errorf("stream: model was frozen without a vocabulary; ingest ids instead of item names")
+	}
+	ts := make([]dataset.Transaction, len(queries))
+	items := make([]dataset.Item, 0, 32)
+	for i, q := range queries {
+		items = items[:0]
+		for _, name := range q {
+			id, ok := s.byName[name]
+			if !ok {
+				id = dataset.Item(len(s.names))
+				s.names = append(s.names, name)
+				s.byName[name] = id
+			}
+			items = append(items, id)
+		}
+		ts[i] = dataset.NewTransaction(items...)
+	}
+	s.mu.Unlock()
+	return s.Ingest(ts), nil
+}
+
+// Quiesce blocks until no background refresh is in flight — the hook the
+// deterministic tests and graceful shutdown use to join the swap.
+func (s *Streamer) Quiesce() { s.refreshWG.Wait() }
+
+// Stats snapshots the streaming counters.
+func (s *Streamer) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Generation:  s.srv.Generation(),
+		Seen:        s.seen,
+		Assigned:    s.admitted,
+		Outliers:    s.parked,
+		OutlierRate: s.est.value(),
+
+		PendingOutliers: s.outLen,
+		DroppedOutliers: s.dropped,
+		RetainedSample:  len(s.reservoir),
+
+		Refreshing:        s.refreshing,
+		Refreshes:         s.refreshes,
+		FailedRefreshes:   s.failedRefreshes,
+		LastTriggerSeen:   s.lastTriggerSeen,
+		LastRefreshPoints: s.lastRefreshPoints,
+		LastRefreshLSH:    s.lastRefreshLSH,
+		LastRefreshSec:    s.lastRefreshSec,
+		LastSwapPauseSec:  s.lastSwapPauseSec,
+	}
+}
+
+// parkLocked appends one unplaceable point to the outlier ring, dropping
+// the oldest parked point when the ring is full. Caller holds s.mu.
+func (s *Streamer) parkLocked(t dataset.Transaction) {
+	n := len(s.outRing)
+	if s.outLen < n {
+		s.outRing[(s.outHead+s.outLen)%n] = t
+		s.outLen++
+		return
+	}
+	s.outRing[s.outHead] = t
+	s.outHead = (s.outHead + 1) % n
+	s.dropped++
+}
+
+// retainLocked offers one admitted point to the retained-sample
+// reservoir (classic reservoir sampling, seeded). Caller holds s.mu.
+func (s *Streamer) retainLocked(t dataset.Transaction) {
+	s.resSeen++
+	if len(s.reservoir) < s.cfg.RetainSample {
+		s.reservoir = append(s.reservoir, t.Clone())
+		return
+	}
+	if j := s.rng.Int63n(s.resSeen); j < int64(s.cfg.RetainSample) {
+		s.reservoir[j] = t.Clone()
+	}
+}
+
+// refreshInputLocked snapshots the re-cluster input: the retained sample
+// followed by the parked outliers (oldest first), plus the vocabulary as
+// of now. Transactions are immutable, so sharing them with the background
+// run is safe — later ingests replace slots, never mutate contents.
+// Caller holds s.mu.
+func (s *Streamer) refreshInputLocked() ([]dataset.Transaction, []string) {
+	sample := make([]dataset.Transaction, 0, len(s.reservoir)+s.outLen)
+	sample = append(sample, s.reservoir...)
+	for i := 0; i < s.outLen; i++ {
+		sample = append(sample, s.outRing[(s.outHead+i)%len(s.outRing)])
+	}
+	var names []string
+	if s.names != nil {
+		names = append([]string(nil), s.names...)
+	}
+	return sample, names
+}
+
+// refresh is the background re-cluster → freeze → swap arc. It runs on
+// its own goroutine; ingestion keeps answering from the old generation
+// until the swap, and the swap itself completes every request pinned to
+// the retiring generation before the drain is reported. On success the
+// outlier buffer clears (its points are in the new model) and the drift
+// estimator resets, re-arming the detector over a fresh warmup window; a
+// failed re-cluster leaves the old model serving, counts the failure, and
+// resets the estimator as a cooldown so the detector cannot hot-loop.
+func (s *Streamer) refresh(sample []dataset.Transaction, names []string) {
+	defer s.refreshWG.Done()
+	start := s.clock.Now()
+
+	rcfg := s.cfg.Cluster
+	lsh := s.cfg.LSHAbove >= 0 && len(sample) >= s.cfg.LSHAbove
+	if lsh {
+		rcfg.LSHNeighbors = true
+	}
+	m, err := reclusterFreeze(sample, names, rcfg)
+	if err != nil {
+		s.mu.Lock()
+		s.failedRefreshes++
+		s.est.reset()
+		s.refreshing = false
+		s.mu.Unlock()
+		return
+	}
+
+	swapStart := s.clock.Now()
+	gen, _ := s.srv.Swap(m)
+	pause := s.clock.Now().Sub(swapStart)
+	if s.cfg.OnSwap != nil {
+		s.cfg.OnSwap(gen, m)
+	}
+
+	s.mu.Lock()
+	s.refreshes++
+	s.lastRefreshPoints = len(sample)
+	s.lastRefreshLSH = lsh
+	s.lastRefreshSec = s.clock.Now().Sub(start).Seconds()
+	s.lastSwapPauseSec = pause.Seconds()
+	s.outHead, s.outLen = 0, 0
+	for i := range s.outRing {
+		s.outRing[i] = nil
+	}
+	s.est.reset()
+	s.refreshing = false
+	s.mu.Unlock()
+}
+
+// reclusterFreeze runs the offline pipeline over the refresh input and
+// freezes the result, attaching the streamer's vocabulary snapshot when
+// it owns one (so the serving stack's name-translating /assign keeps
+// working across refreshes).
+func reclusterFreeze(sample []dataset.Transaction, names []string, cfg core.Config) (*core.Model, error) {
+	res, err := core.Cluster(sample, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("stream: refresh clustering: %w", err)
+	}
+	if names != nil {
+		v := dataset.NewVocabulary()
+		for _, n := range names {
+			v.Intern(n)
+		}
+		m, err := core.FreezeDataset(&dataset.Dataset{Vocab: v, Trans: sample}, res, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("stream: freezing refreshed model: %w", err)
+		}
+		return m, nil
+	}
+	m, err := core.Freeze(sample, res, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("stream: freezing refreshed model: %w", err)
+	}
+	return m, nil
+}

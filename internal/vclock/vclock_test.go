@@ -1,0 +1,114 @@
+package vclock
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRealClock smokes the production clock: Now moves, AfterFunc fires.
+func TestRealClock(t *testing.T) {
+	c := Real()
+	t0 := c.Now()
+	done := make(chan struct{})
+	c.AfterFunc(time.Millisecond, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("real AfterFunc never fired")
+	}
+	if !c.Now().After(t0) {
+		t.Fatal("real clock did not advance")
+	}
+}
+
+// TestFakeOrdering proves timers fire in deadline order with creation
+// order breaking ties, and only when Advance traverses their deadline.
+func TestFakeOrdering(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	var fired []int
+	f.AfterFunc(30*time.Millisecond, func() { fired = append(fired, 3) })
+	f.AfterFunc(10*time.Millisecond, func() { fired = append(fired, 1) })
+	f.AfterFunc(10*time.Millisecond, func() { fired = append(fired, 2) }) // same deadline, later creation
+	f.AfterFunc(50*time.Millisecond, func() { fired = append(fired, 4) })
+
+	f.Advance(5 * time.Millisecond)
+	if len(fired) != 0 {
+		t.Fatalf("timers fired before their deadline: %v", fired)
+	}
+	f.Advance(25 * time.Millisecond) // now at 30ms: timers 1, 2, 3 due
+	if want := []int{1, 2, 3}; len(fired) != 3 || fired[0] != 1 || fired[1] != 2 || fired[2] != 3 {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	if f.Pending() != 1 {
+		t.Fatalf("pending %d, want 1", f.Pending())
+	}
+	f.Advance(20 * time.Millisecond)
+	if len(fired) != 4 || fired[3] != 4 {
+		t.Fatalf("fired %v, want trailing 4", fired)
+	}
+}
+
+// TestFakeCallbackSeesDeadline proves a callback observes the clock at
+// its own deadline, not the Advance target — timers scheduled from inside
+// a callback land relative to the deadline and still fire in the same
+// Advance when due.
+func TestFakeCallbackSeesDeadline(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	var at []time.Duration
+	f.AfterFunc(10*time.Millisecond, func() {
+		at = append(at, f.Now().Sub(time.Unix(0, 0)))
+		f.AfterFunc(5*time.Millisecond, func() {
+			at = append(at, f.Now().Sub(time.Unix(0, 0)))
+		})
+	})
+	f.Advance(time.Hour)
+	if len(at) != 2 || at[0] != 10*time.Millisecond || at[1] != 15*time.Millisecond {
+		t.Fatalf("callback instants %v, want [10ms 15ms]", at)
+	}
+	if got := f.Now().Sub(time.Unix(0, 0)); got != time.Hour {
+		t.Fatalf("clock at %v after Advance, want 1h", got)
+	}
+}
+
+// TestFakeStop proves a stopped timer never fires and Stop reports the
+// time.Timer contract (true once, false after firing or re-stopping).
+func TestFakeStop(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	fired := false
+	tm := f.AfterFunc(time.Millisecond, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("first Stop returned false")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+	f.Advance(time.Second)
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+	if f.Pending() != 0 {
+		t.Fatalf("pending %d after stop+advance", f.Pending())
+	}
+
+	tm2 := f.AfterFunc(time.Millisecond, func() {})
+	f.Advance(time.Second)
+	if tm2.Stop() {
+		t.Fatal("Stop after firing returned true")
+	}
+}
+
+// TestFakeZeroDelay proves a non-positive delay schedules at now and
+// still fires only on the next Advance — never inline from AfterFunc,
+// which would deadlock callers that schedule while holding a lock.
+func TestFakeZeroDelay(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	fired := false
+	f.AfterFunc(0, func() { fired = true })
+	if fired {
+		t.Fatal("zero-delay timer fired inline from AfterFunc")
+	}
+	f.Advance(0)
+	if !fired {
+		t.Fatal("zero-delay timer did not fire on Advance(0)")
+	}
+}

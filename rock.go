@@ -6,6 +6,7 @@ import (
 	"github.com/rockclust/rock/internal/core"
 	"github.com/rockclust/rock/internal/dataset"
 	"github.com/rockclust/rock/internal/serve"
+	"github.com/rockclust/rock/internal/stream"
 )
 
 // Core clustering types, re-exported from the engine.
@@ -142,6 +143,38 @@ type (
 
 // NewServer builds a Server serving the given frozen model.
 func NewServer(m *Model, cfg ServeConfig) *Server { return serve.New(m, cfg) }
+
+// Streaming ingestion, re-exported from the stream package: a long-lived
+// loop over the serving stack that admits arriving points via the frozen
+// θ-test, parks what the model cannot place, watches the outlier rate for
+// distribution drift, and re-clusters + hot-swaps in the background when
+// the model has gone stale (the machinery behind rockserve -stream).
+type (
+	// StreamConfig parameterizes a Streamer (drift window, refresh
+	// threshold, buffer bounds, the embedded ServeConfig). The zero value
+	// uses the documented defaults and inherits θ, K, and the measure
+	// from the initial model.
+	StreamConfig = stream.Config
+	// Streamer admits arriving points against the live model, detects
+	// drift, and refreshes the model without dropping a request. Mount
+	// Streamer.Handler for the HTTP surface (POST /ingest, GET /streamz,
+	// plus the embedded serving endpoints).
+	Streamer = stream.Streamer
+	// StreamStats is the GET /streamz snapshot: admission counters, the
+	// drift estimate, and the refresh ledger.
+	StreamStats = stream.Stats
+	// IngestResult answers one Streamer.Ingest call: assignments, the
+	// generation that answered, and the drift estimate.
+	IngestResult = stream.IngestResult
+	// IngestRequest is the POST /ingest body (item names or raw ids).
+	IngestRequest = stream.IngestRequest
+	// IngestResponse answers POST /ingest.
+	IngestResponse = stream.IngestResponse
+)
+
+// NewStreamer builds a Streamer serving the given frozen model at
+// generation 1.
+func NewStreamer(m *Model, cfg StreamConfig) (*Streamer, error) { return stream.New(m, cfg) }
 
 // MarketBasketF is the paper's exponent choice f(θ) = (1−θ)/(1+θ).
 func MarketBasketF(theta float64) float64 { return core.MarketBasketF(theta) }
