@@ -134,8 +134,12 @@ the performance-trajectory records — one bench mode per record:
   -stream  streaming-ingestion sweep               → BENCH_stream.json
            (sustained Ingest throughput through a regime change: stable,
            drift-until-refreshed, and post-refresh phases, plus the
-           refresh ledger — detection delay, re-cluster cost, and the
-           atomic swap pause — at two worker settings)
+           refresh ledger — detection delay, re-cluster cost, the atomic
+           swap pause, post-swap admission accuracy, and the outlier
+           conservation check points_lost=0 — at two worker settings,
+           each in both refresh modes: full re-cluster of the retained
+           sample vs incremental re-cluster seeded with the serving
+           model's clusters)
 
 With no flags and no ids, every experiment runs at paper scale to stdout.
 

@@ -25,9 +25,13 @@
 //	GET  /streamz   admission counters, drift estimate, refresh ledger
 //
 // When the windowed outlier rate crosses -refresh-threshold, the daemon
-// re-clusters a retained sample plus the parked outliers in the
-// background and atomically swaps the refreshed model in — no ingest or
-// assign request is dropped across the swap. In stream mode the daemon
+// re-clusters in the background and atomically swaps the refreshed model
+// in — no ingest or assign request is dropped across the swap, and no
+// outlier parked while the refresh runs is discarded (survivors re-admit
+// through the new generation). By default the refresh is incremental:
+// the serving model's clusters seed the re-cluster and only the parked
+// outliers are new input; -incremental=false re-clusters the retained
+// sample plus the outliers from scratch instead. In stream mode the daemon
 // owns the model lifecycle, so SIGHUP reloads are disabled (an externally
 // loaded model would not share the streamer's item id space).
 package main
@@ -57,12 +61,14 @@ func main() {
 		flushEvery   = flag.Duration("flush", 0, "flush a coalesced batch this long after it opens (0 = default 1ms)")
 		workers      = flag.Int("workers", 0, "AssignBatch workers per flush (0 = GOMAXPROCS)")
 		drainTimeout = flag.Duration("drain-timeout", 0, "how long reload and shutdown wait for in-flight requests (0 = default 30s)")
+		maxBody      = flag.Int64("max-body-bytes", 0, "reject POST bodies larger than this with 413 (0 = default 8MiB; negative disables)")
 
-		streamMode = flag.Bool("stream", false, "streaming ingestion mode: serve POST /ingest + GET /streamz and refresh the model on drift")
-		refresh    = flag.Float64("refresh-threshold", 0, "outlier rate that triggers a background re-cluster (0 = default 0.5; >1 disables)")
-		window     = flag.Int("drift-window", 0, "effective width in points of the outlier-rate estimate (0 = default 512)")
-		outBuf     = flag.Int("outlier-buffer", 0, "max parked outliers retained for the next refresh (0 = default 4096)")
-		retain     = flag.Int("retain", 0, "max admitted points retained as re-clustering context (0 = default 4096)")
+		streamMode  = flag.Bool("stream", false, "streaming ingestion mode: serve POST /ingest + GET /streamz and refresh the model on drift")
+		refresh     = flag.Float64("refresh-threshold", 0, "outlier rate that triggers a background re-cluster (0 = default 0.5; >1 disables)")
+		window      = flag.Int("drift-window", 0, "effective width in points of the outlier-rate estimate (0 = default 512)")
+		outBuf      = flag.Int("outlier-buffer", 0, "max parked outliers retained for the next refresh (0 = default 4096)")
+		retain      = flag.Int("retain", 0, "max admitted points retained as re-clustering context (0 = default 4096)")
+		incremental = flag.Bool("incremental", true, "seed drift refreshes with the serving model's clusters instead of re-clustering the retained sample from scratch (falls back to a full re-cluster if the seeded run fails)")
 	)
 	flag.Parse()
 	if *modelPath == "" {
@@ -81,6 +87,7 @@ func main() {
 		FlushEvery:   *flushEvery,
 		Workers:      *workers,
 		DrainTimeout: *drainTimeout,
+		MaxBodyBytes: *maxBody,
 	}
 
 	var (
@@ -95,6 +102,7 @@ func main() {
 			Window:           *window,
 			OutlierBuffer:    *outBuf,
 			RetainSample:     *retain,
+			Incremental:      *incremental,
 			OnSwap: func(gen uint64, m *core.Model) {
 				if gen > 1 {
 					log.Printf("rockserve: drift refresh swapped in generation %d (%s)", gen, m)
@@ -106,7 +114,11 @@ func main() {
 		}
 		s = st.Server()
 		handler = st.Handler()
-		log.Printf("rockserve: streaming %s (generation 1) on %s", m, *addr)
+		mode := "incremental"
+		if !*incremental {
+			mode = "full"
+		}
+		log.Printf("rockserve: streaming %s (generation 1, %s refresh) on %s", m, mode, *addr)
 	} else {
 		s = serve.New(m, cfg)
 		handler = s.Handler()

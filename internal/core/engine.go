@@ -79,11 +79,22 @@ type arena struct {
 // to weedTrigger, clusters of size ≤ weedMaxSize are discarded as outliers
 // (the paper's device for isolating stray points that merge with nothing).
 func agglomerate(n int, lt *linkage.Compact, k int, good GoodnessFunc, f float64, weedTrigger, weedMaxSize int, trace bool) engineResult {
-	a := newArena(n, lt, good, f)
+	return runAgglomeration(newArena(n, lt, good, f), k, weedTrigger, weedMaxSize, trace)
+}
 
+// runAgglomeration drives the merge loop over an already-seeded arena —
+// shared by agglomerate (every slot a singleton) and the seeded path
+// (seeded.go: slots are pre-formed groups). Logical ids continue from the
+// initial slot count, so the tie-break convention holds for both.
+func runAgglomeration(a *arena, k, weedTrigger, weedMaxSize int, trace bool) engineResult {
 	var res engineResult
-	nextID := n
-	active := n
+	nextID := len(a.alive)
+	active := 0
+	for _, live := range a.alive {
+		if live {
+			active++
+		}
+	}
 	weedDone := weedTrigger <= 0
 
 	for active > k {

@@ -211,6 +211,22 @@ func (m *Model) ClusterSizes() []int { return append([]int(nil), m.clusterSizes.
 // model was frozen from raw ids. The returned slice is a copy.
 func (m *Model) Items() []string { return append([]string(nil), m.items...) }
 
+// LabeledGroups returns the model's frozen labeled points and their
+// grouping: pts is the flat labeled-point slice and groups[i] lists
+// indices into pts belonging to cluster i — the pre-formed seed an
+// incremental re-cluster (ClusterSeeded) starts from. The slices are
+// fresh copies (the transactions themselves are shared; they are
+// immutable), so the caller may append outliers after the reps and hand
+// the result straight to ClusterSeeded.
+func (m *Model) LabeledGroups() (pts []dataset.Transaction, groups [][]int) {
+	pts = append([]dataset.Transaction(nil), m.pts...)
+	groups = make([][]int, len(m.sets))
+	for i, li := range m.sets {
+		groups[i] = append([]int(nil), li...)
+	}
+	return pts, groups
+}
+
 // String summarizes the model for logs and the CLI.
 func (m *Model) String() string {
 	vocab := "none"

@@ -64,7 +64,16 @@ type Config struct {
 	// size-or-deadline race deterministically; production callers leave
 	// it nil.
 	Clock vclock.Clock
+	// MaxBodyBytes caps request body sizes on the JSON endpoints (POST
+	// /assign here, POST /ingest in the streaming handler); an oversized
+	// body gets 413 instead of an unbounded decode. Default 8 MiB;
+	// negative disables the cap.
+	MaxBodyBytes int64
 }
+
+// DefaultMaxBodyBytes is the request-body cap applied when
+// Config.MaxBodyBytes is zero.
+const DefaultMaxBodyBytes = 8 << 20
 
 // withDefaults fills the zero fields.
 func (c Config) withDefaults() Config {
@@ -79,6 +88,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Clock == nil {
 		c.Clock = vclock.Real()
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = DefaultMaxBodyBytes
 	}
 	return c
 }
@@ -262,6 +274,32 @@ func (s *Server) Submit(qs []dataset.Transaction) (assignments []int, gen uint64
 	return assignments, lm.gen
 }
 
+// SubmitDirect answers one batch of queries on the current generation,
+// bypassing the coalescing batcher: the assignment runs synchronously on
+// the calling goroutine. The streaming refresh uses it to re-admit ring
+// survivors against a just-swapped generation — going through the
+// batcher there could strand a partial batch against a test-controlled
+// clock, and the refresh goroutine has no latency to amortize. Counted
+// in the serving stats like any other request. Safe for concurrent use.
+func (s *Server) SubmitDirect(qs []dataset.Transaction) (assignments []int, gen uint64) {
+	start := s.cfg.Clock.Now()
+	lm := s.acquire()
+	defer lm.release()
+	assignments = lm.model.AssignBatch(qs, s.cfg.Workers)
+
+	s.stats.requests.Add(1)
+	s.stats.queries.Add(int64(len(qs)))
+	for _, ci := range assignments {
+		if ci >= 0 {
+			s.stats.assigned.Add(1)
+		} else {
+			s.stats.outliers.Add(1)
+		}
+	}
+	s.stats.latency.observe(s.cfg.Clock.Now().Sub(start))
+	return assignments, lm.gen
+}
+
 // Stats snapshots the serving counters.
 func (s *Server) Stats() Stats {
 	lm := s.cur.Load()
@@ -360,12 +398,33 @@ func (lm *liveModel) queries(req *AssignRequest) ([]dataset.Transaction, error) 
 	}
 }
 
+// LimitBody wraps a request body with the server's configured size cap
+// (http.MaxBytesReader, so an oversized body aborts the decode and the
+// connection, not the process). The streaming handler shares the cap for
+// POST /ingest. A non-positive configured cap disables limiting.
+func (s *Server) LimitBody(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.MaxBodyBytes > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	}
+}
+
+// DecodeStatus maps a JSON body-decode error to its HTTP status: 413
+// when the body limit tripped, 400 otherwise.
+func DecodeStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
 func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	s.LimitBody(w, r)
 	var req AssignRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		s.stats.badRequests.Add(1)
-		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		httpError(w, DecodeStatus(err), fmt.Errorf("decoding request: %w", err))
 		return
 	}
 	lm := s.acquire()

@@ -7,6 +7,7 @@ import (
 	"net/http"
 
 	"github.com/rockclust/rock/internal/dataset"
+	"github.com/rockclust/rock/internal/serve"
 )
 
 // HTTP surface of the streaming loop. The streamer's handler mounts the
@@ -50,9 +51,10 @@ func (s *Streamer) Handler() http.Handler {
 }
 
 func (s *Streamer) handleIngest(w http.ResponseWriter, r *http.Request) {
+	s.srv.LimitBody(w, r)
 	var req IngestRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		httpError(w, serve.DecodeStatus(err), fmt.Errorf("decoding request: %w", err))
 		return
 	}
 	var res IngestResult

@@ -140,6 +140,7 @@ func soak(t *testing.T, workers int) {
 	}
 	st.Quiesce()
 	s3 := st.Stats()
+	assertLedger(t, s3)
 	if s3.Refreshes != 1 || s3.FailedRefreshes != 0 {
 		t.Fatalf("refresh ledger after drift: %+v", s3)
 	}
@@ -217,6 +218,198 @@ func soak(t *testing.T, workers int) {
 
 	// --- Replay: the swap-safety ledger. ---
 	st.Quiesce()
+	assertLedger(t, st.Stats())
+	genMu.Lock()
+	defer genMu.Unlock()
+	total := int64(0)
+	for i, rec := range records {
+		total += int64(len(rec.qs))
+		if rec.gen < rec.genBefore {
+			t.Fatalf("batch %d answered by retired generation %d (generation %d was current at submit)", i, rec.gen, rec.genBefore)
+		}
+		gm := genModels[rec.gen]
+		if gm == nil {
+			t.Fatalf("batch %d answered by unknown generation %d", i, rec.gen)
+		}
+		if want := gm.AssignBatch(rec.qs, 1); !reflect.DeepEqual(want, rec.out) {
+			t.Fatalf("batch %d misattributed: generation %d's model answers %v, streamer returned %v", i, rec.gen, want, rec.out)
+		}
+	}
+	if got := st.Stats().Seen; got != total {
+		t.Fatalf("streamer saw %d points, test ingested %d — points dropped or double-counted", got, total)
+	}
+}
+
+// TestStreamSoakIncremental drives TWO regime changes through the
+// incremental refresh path and proves the seeded re-cluster earns its
+// keep: every refresh runs seeded (zero fallbacks to the full path), the
+// refresh input stays bounded by the frozen model's representatives plus
+// the outlier ring (instead of the whole retained reservoir), the
+// outlier conservation ledger balances at every quiesce point across
+// both changepoints, and the final model still serves the FIRST regime
+// — the seed carries old clusters across refreshes that a from-scratch
+// re-cluster over recent traffic would forget. Quality on the newest
+// regime must match a from-scratch batch run within the same ε as the
+// full-path soak.
+func TestStreamSoakIncremental(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		t.Run(map[int]string{1: "workers=1", 4: "workers=4"}[workers], func(t *testing.T) {
+			soakIncremental(t, workers)
+		})
+	}
+}
+
+func soakIncremental(t *testing.T, workers int) {
+	const (
+		batchSize = 16
+		window    = 64
+	)
+	fake := vclock.NewFake(time.Unix(0, 0))
+
+	var genMu sync.Mutex
+	genModels := map[uint64]*core.Model{}
+
+	regA := newRegime(0, 4, 11)
+	m := freezeRegime(t, regA, 400, 4, workers)
+	st, err := New(m, Config{
+		Cluster:            core.Config{Theta: soakTheta, K: 8, Seed: 5, Workers: workers},
+		Serve:              serve.Config{MaxBatch: batchSize, FlushEvery: 50 * time.Millisecond, Workers: workers},
+		RefreshThreshold:   0.5,
+		Window:             window,
+		Warmup:             window,
+		MinRefreshOutliers: 48,
+		OutlierBuffer:      256,
+		RetainSample:       256,
+		Incremental:        true,
+		Seed:               7,
+		Clock:              fake,
+		OnSwap: func(gen uint64, m *core.Model) {
+			genMu.Lock()
+			genModels[gen] = m
+			genMu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var records []soakBatch
+	ingest := func(g *regimeGen) ([]int, []string) {
+		qs, labels := g.batch(batchSize)
+		genBefore := st.Generation()
+		res := st.Ingest(qs)
+		if len(res.Assignments) != len(qs) {
+			t.Fatalf("ingest dropped points: %d answers for %d queries", len(res.Assignments), len(qs))
+		}
+		records = append(records, soakBatch{qs: qs, out: res.Assignments, genBefore: genBefore, gen: res.Generation})
+		return res.Assignments, labels
+	}
+	// driftUntil pushes a drifted regime until the detector fires, then
+	// quiesces and checks the refresh landed incrementally with the
+	// ledger balanced. Returns the refresh-input bound check input.
+	driftUntil := func(g *regimeGen, wantRefreshes int64, wantGen uint64) Stats {
+		changepoint := st.Stats().Seen
+		// Bound on the NEXT refresh's input: the seed model's labeled
+		// representatives plus at most a full outlier ring.
+		inputBound := st.srv.Model().LabeledPoints() + 256
+		triggered := false
+		for i := 0; i < 4*window/batchSize && !triggered; i++ {
+			ingest(g)
+			triggered = st.Stats().LastTriggerSeen > changepoint
+		}
+		if !triggered {
+			t.Fatalf("drift detector never fired within %d points of changepoint %d", 4*window, changepoint)
+		}
+		for i := 0; i < 6; i++ {
+			ingest(g) // traffic crossing the swap boundary
+		}
+		st.Quiesce()
+		s := st.Stats()
+		assertLedger(t, s)
+		if s.Refreshes != wantRefreshes || s.FailedRefreshes != 0 {
+			t.Fatalf("refresh ledger: %+v, want %d refreshes", s, wantRefreshes)
+		}
+		if !s.LastRefreshIncremental || s.IncrementalFallbacks != 0 {
+			t.Fatalf("refresh fell back to the full path: %+v", s)
+		}
+		if s.Generation != wantGen {
+			t.Fatalf("generation %d, want %d", s.Generation, wantGen)
+		}
+		if s.LastRefreshPoints > inputBound {
+			t.Fatalf("incremental refresh input %d exceeds seed+ring bound %d — it re-clustered the reservoir", s.LastRefreshPoints, inputBound)
+		}
+		return s
+	}
+
+	// Stable regime A, then two successive regime changes, each absorbed
+	// by a seeded refresh: gen 1 → 2 → 3.
+	for i := 0; i < 30; i++ {
+		ingest(regA)
+	}
+	if s := st.Stats(); s.Refreshes != 0 || s.Generation != 1 {
+		t.Fatalf("stable phase: %+v", s)
+	}
+	regB := newRegime(100000, 4, 13)
+	driftUntil(regB, 1, 2)
+	for i := 0; i < 20; i++ {
+		ingest(regB) // B is the stable regime now; detector must settle
+	}
+	regC := newRegime(200000, 4, 23)
+	s := driftUntil(regC, 2, 3)
+	if s.Refreshes != 2 {
+		t.Fatalf("second regime change not absorbed: %+v", s)
+	}
+
+	// Quality on the newest regime: live path vs from-scratch batch run.
+	probes := newRegime(200000, 4, 17)
+	var streamAssign []int
+	var probeLabels []string
+	var probeQs []dataset.Transaction
+	for i := 0; i < 25; i++ {
+		out, labels := ingest(probes)
+		streamAssign = append(streamAssign, out...)
+		probeLabels = append(probeLabels, labels...)
+		probeQs = append(probeQs, records[len(records)-1].qs...)
+	}
+	accStream := metrics.Evaluate(streamAssign, probeLabels).Accuracy
+
+	trainC, _ := newRegime(200000, 4, 19).batch(512)
+	bcfg := core.Config{Theta: soakTheta, K: 4, Seed: 3, Workers: workers}
+	bres, err := core.Cluster(trainC, bcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm, err := core.Freeze(trainC, bres, bcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accBatch := metrics.Evaluate(bm.AssignBatch(probeQs, 1), probeLabels).Accuracy
+	const eps = 0.05
+	if accStream < accBatch-eps {
+		t.Fatalf("post-swap accuracy %.4f, from-scratch batch run %.4f — gap exceeds ε=%.2f", accStream, accBatch, eps)
+	}
+
+	// Memory: the generation-3 model was seeded from generation 2, which
+	// was seeded from generation 1 — regime A's clusters survived two
+	// refreshes it never appeared in. A from-scratch re-cluster over the
+	// refresh window would have forgotten A entirely.
+	aProbes, _ := newRegime(0, 4, 29).batch(64)
+	res := st.Ingest(aProbes)
+	records = append(records, soakBatch{qs: aProbes, out: res.Assignments, genBefore: 3, gen: res.Generation})
+	placed := 0
+	for _, ci := range res.Assignments {
+		if ci >= 0 {
+			placed++
+		}
+	}
+	if placed < 48 {
+		t.Fatalf("generation 3 placed only %d/64 regime-A probes — the seed lost the original clusters", placed)
+	}
+	t.Logf("quality: stream %.4f vs batch %.4f; regime-A memory %d/64 placed", accStream, accBatch, placed)
+
+	// Replay: swap safety across both changepoints.
+	st.Quiesce()
+	assertLedger(t, st.Stats())
 	genMu.Lock()
 	defer genMu.Unlock()
 	total := int64(0)

@@ -84,6 +84,16 @@ type Config struct {
 	// pipeline when the re-cluster input (reservoir + outliers) reaches
 	// this many points (default 50000; negative disables).
 	LSHAbove int
+	// Incremental switches the background refresh to the seeded
+	// re-cluster: the frozen model's labeled clusters seed the
+	// agglomeration arena (core.ClusterSeeded) and only the parked
+	// outliers enter as new points, so the refresh input is
+	// reps+outliers instead of reservoir+outliers — typically an order
+	// of magnitude smaller. When the seeded run rejects the refresh
+	// config or fails, the refresh falls back to the full re-cluster in
+	// the same attempt and counts Stats.IncrementalFallbacks. Default
+	// false (full re-cluster over the retained sample).
+	Incremental bool
 	// Seed drives the retained-sample reservoir and the refresh runs'
 	// randomized steps.
 	Seed int64
@@ -149,6 +159,18 @@ type IngestResult struct {
 }
 
 // Stats snapshots the streaming loop for monitoring and the soak tests.
+//
+// The outlier ledger is loss-proof by construction: once no refresh is
+// in flight, every parked point (Outliers) is in exactly one bucket —
+// still in the ring (PendingOutliers), consumed by a completed refresh
+// (RefreshedOutliers), re-admitted into a refreshed generation
+// (ReadmittedOutliers), or evicted without ever reaching a model
+// (DroppedOutliers):
+//
+//	Outliers == RefreshedOutliers + ReadmittedOutliers +
+//	            PendingOutliers + DroppedOutliers
+//
+// The soak tests assert the identity at every quiesce point.
 type Stats struct {
 	Generation  uint64  `json:"generation"`
 	Seen        int64   `json:"seen"`
@@ -156,18 +178,25 @@ type Stats struct {
 	Outliers    int64   `json:"outliers"`
 	OutlierRate float64 `json:"outlier_rate"`
 
-	PendingOutliers int   `json:"pending_outliers"`
-	DroppedOutliers int64 `json:"dropped_outliers"`
-	RetainedSample  int   `json:"retained_sample"`
+	PendingOutliers    int   `json:"pending_outliers"`
+	DroppedOutliers    int64 `json:"dropped_outliers"`
+	RefreshedOutliers  int64 `json:"refreshed_outliers"`
+	ReadmittedOutliers int64 `json:"readmitted_outliers"`
+	RetainedSample     int   `json:"retained_sample"`
 
-	Refreshing        bool    `json:"refreshing"`
-	Refreshes         int64   `json:"refreshes"`
-	FailedRefreshes   int64   `json:"failed_refreshes"`
-	LastTriggerSeen   int64   `json:"last_trigger_seen"`
-	LastRefreshPoints int     `json:"last_refresh_points"`
-	LastRefreshLSH    bool    `json:"last_refresh_lsh"`
-	LastRefreshSec    float64 `json:"last_refresh_sec"`
-	LastSwapPauseSec  float64 `json:"last_swap_pause_sec"`
+	Refreshing             bool    `json:"refreshing"`
+	PendingRefresh         bool    `json:"pending_refresh"`
+	Refreshes              int64   `json:"refreshes"`
+	FailedRefreshes        int64   `json:"failed_refreshes"`
+	CoalescedTriggers      int64   `json:"coalesced_triggers"`
+	IncrementalFallbacks   int64   `json:"incremental_fallbacks"`
+	LastTriggerSeen        int64   `json:"last_trigger_seen"`
+	LastRefreshPoints      int     `json:"last_refresh_points"`
+	LastRefreshLSH         bool    `json:"last_refresh_lsh"`
+	LastRefreshIncremental bool    `json:"last_refresh_incremental"`
+	LastRefreshSec         float64 `json:"last_refresh_sec"`
+	LastSwapPauseSec       float64 `json:"last_swap_pause_sec"`
+	LastRefreshError       string  `json:"last_refresh_error,omitempty"`
 }
 
 // Streamer is the long-lived ingestion loop. Create one with New; Ingest,
@@ -188,15 +217,30 @@ type Streamer struct {
 	resSeen         int64                 // admitted points offered to the reservoir
 
 	seen, admitted, parked, dropped int64
+	refreshed, readmitted           int64 // ring points consumed by refreshes / re-admitted after a swap
 	refreshing                      bool
+	refreshPending                  bool  // a trigger landed mid-refresh; run one follow-up
+	dropsAtTrigger                  int64 // s.dropped when the in-flight refresh snapshotted the ring
 	refreshWG                       sync.WaitGroup
 
 	refreshes, failedRefreshes int64
+	coalescedTriggers          int64
+	incrementalFallbacks       int64
 	lastTriggerSeen            int64
 	lastRefreshPoints          int
 	lastRefreshLSH             bool
+	lastRefreshIncremental     bool
 	lastRefreshSec             float64
 	lastSwapPauseSec           float64
+	lastRefreshErr             string
+
+	// Test seams: when gateRefresh is non-nil, every refresh goroutine
+	// signals refreshEntered (if non-nil) and then blocks until
+	// gateRefresh is closed — how the retention tests hold a refresh
+	// mid-flight while parking more points. Both must be set before the
+	// first Ingest and never mutated afterwards.
+	gateRefresh    chan struct{}
+	refreshEntered chan struct{}
 }
 
 // New builds a Streamer serving the given initial model at generation 1.
@@ -287,15 +331,19 @@ func (s *Streamer) Ingest(ts []dataset.Transaction) IngestResult {
 		}
 	}
 	rate := s.est.value()
-	if !s.refreshing &&
-		s.est.count() >= int64(s.cfg.Warmup) &&
+	if s.est.count() >= int64(s.cfg.Warmup) &&
 		rate >= s.cfg.RefreshThreshold &&
 		s.outLen >= s.cfg.MinRefreshOutliers {
-		s.refreshing = true
-		s.lastTriggerSeen = s.seen
-		sample, names := s.refreshInputLocked()
-		s.refreshWG.Add(1)
-		go s.refresh(sample, names)
+		if !s.refreshing {
+			s.triggerLocked()
+		} else if !s.refreshPending {
+			// A trigger landing mid-refresh queues exactly one follow-up:
+			// the in-flight refresh cannot see the points parked after its
+			// snapshot, so when it finishes (and the ring is still worth
+			// re-clustering) one more refresh runs over them.
+			s.refreshPending = true
+			s.coalescedTriggers++
+		}
 	}
 	refreshing := s.refreshing
 	s.mu.Unlock()
@@ -346,18 +394,25 @@ func (s *Streamer) Stats() Stats {
 		Outliers:    s.parked,
 		OutlierRate: s.est.value(),
 
-		PendingOutliers: s.outLen,
-		DroppedOutliers: s.dropped,
-		RetainedSample:  len(s.reservoir),
+		PendingOutliers:    s.outLen,
+		DroppedOutliers:    s.dropped,
+		RefreshedOutliers:  s.refreshed,
+		ReadmittedOutliers: s.readmitted,
+		RetainedSample:     len(s.reservoir),
 
-		Refreshing:        s.refreshing,
-		Refreshes:         s.refreshes,
-		FailedRefreshes:   s.failedRefreshes,
-		LastTriggerSeen:   s.lastTriggerSeen,
-		LastRefreshPoints: s.lastRefreshPoints,
-		LastRefreshLSH:    s.lastRefreshLSH,
-		LastRefreshSec:    s.lastRefreshSec,
-		LastSwapPauseSec:  s.lastSwapPauseSec,
+		Refreshing:             s.refreshing,
+		PendingRefresh:         s.refreshPending,
+		Refreshes:              s.refreshes,
+		FailedRefreshes:        s.failedRefreshes,
+		CoalescedTriggers:      s.coalescedTriggers,
+		IncrementalFallbacks:   s.incrementalFallbacks,
+		LastTriggerSeen:        s.lastTriggerSeen,
+		LastRefreshPoints:      s.lastRefreshPoints,
+		LastRefreshLSH:         s.lastRefreshLSH,
+		LastRefreshIncremental: s.lastRefreshIncremental,
+		LastRefreshSec:         s.lastRefreshSec,
+		LastSwapPauseSec:       s.lastSwapPauseSec,
+		LastRefreshError:       s.lastRefreshErr,
 	}
 }
 
@@ -388,46 +443,86 @@ func (s *Streamer) retainLocked(t dataset.Transaction) {
 	}
 }
 
-// refreshInputLocked snapshots the re-cluster input: the retained sample
-// followed by the parked outliers (oldest first), plus the vocabulary as
-// of now. Transactions are immutable, so sharing them with the background
-// run is safe — later ingests replace slots, never mutate contents.
-// Caller holds s.mu.
-func (s *Streamer) refreshInputLocked() ([]dataset.Transaction, []string) {
-	sample := make([]dataset.Transaction, 0, len(s.reservoir)+s.outLen)
-	sample = append(sample, s.reservoir...)
+// refreshInput is the snapshot a refresh runs over: the retained sample
+// and the parked outliers at trigger time, the vocabulary as of then,
+// the generation being refreshed (its labeled clusters seed the
+// incremental path), and cutLen — how many ring entries the snapshot
+// consumed, so the swap clears exactly that prefix and nothing parked
+// after it.
+type refreshInput struct {
+	reservoir []dataset.Transaction
+	outliers  []dataset.Transaction // the ring's first cutLen entries, oldest first
+	names     []string
+	model     *core.Model
+	cutLen    int
+}
+
+// triggerLocked starts the background refresh: record the trigger point
+// and the drop count (the drop-reversal accounting in
+// settleRingLocked needs it), snapshot the input, and launch the
+// goroutine. Caller holds s.mu; s.refreshing must be false.
+func (s *Streamer) triggerLocked() {
+	s.refreshing = true
+	s.refreshPending = false
+	s.lastTriggerSeen = s.seen
+	s.dropsAtTrigger = s.dropped
+	in := s.refreshInputLocked()
+	s.refreshWG.Add(1)
+	go s.refresh(in)
+}
+
+// refreshInputLocked snapshots the re-cluster input. Transactions are
+// immutable, so sharing them with the background run is safe — later
+// ingests replace ring slots, never mutate contents. Caller holds s.mu.
+func (s *Streamer) refreshInputLocked() refreshInput {
+	in := refreshInput{
+		reservoir: append([]dataset.Transaction(nil), s.reservoir...),
+		outliers:  make([]dataset.Transaction, 0, s.outLen),
+		model:     s.srv.Model(),
+		cutLen:    s.outLen,
+	}
 	for i := 0; i < s.outLen; i++ {
-		sample = append(sample, s.outRing[(s.outHead+i)%len(s.outRing)])
+		in.outliers = append(in.outliers, s.outRing[(s.outHead+i)%len(s.outRing)])
 	}
-	var names []string
 	if s.names != nil {
-		names = append([]string(nil), s.names...)
+		in.names = append([]string(nil), s.names...)
 	}
-	return sample, names
+	return in
 }
 
 // refresh is the background re-cluster → freeze → swap arc. It runs on
 // its own goroutine; ingestion keeps answering from the old generation
 // until the swap, and the swap itself completes every request pinned to
 // the retiring generation before the drain is reported. On success the
-// outlier buffer clears (its points are in the new model) and the drift
-// estimator resets, re-arming the detector over a fresh warmup window; a
-// failed re-cluster leaves the old model serving, counts the failure, and
-// resets the estimator as a cooldown so the detector cannot hot-loop.
-func (s *Streamer) refresh(sample []dataset.Transaction, names []string) {
+// snapshotted ring prefix clears (those points are in the new model),
+// the points parked during the refresh window re-admit through the new
+// generation's θ-test (re-parked when they still fail), and the drift
+// estimator resets, re-arming the detector over a fresh warmup window.
+// A failed re-cluster leaves the old model serving, records the attempt
+// in the ledger (duration, size, error string), and resets the
+// estimator as a cooldown so the detector cannot hot-loop; a queued
+// follow-up is absorbed by the cooldown too.
+func (s *Streamer) refresh(in refreshInput) {
 	defer s.refreshWG.Done()
+	if s.gateRefresh != nil {
+		if s.refreshEntered != nil {
+			s.refreshEntered <- struct{}{}
+		}
+		<-s.gateRefresh
+	}
 	start := s.clock.Now()
 
-	rcfg := s.cfg.Cluster
-	lsh := s.cfg.LSHAbove >= 0 && len(sample) >= s.cfg.LSHAbove
-	if lsh {
-		rcfg.LSHNeighbors = true
-	}
-	m, err := reclusterFreeze(sample, names, rcfg)
+	m, incremental, npts, lsh, err := s.recluster(in)
 	if err != nil {
 		s.mu.Lock()
 		s.failedRefreshes++
+		s.lastRefreshPoints = npts
+		s.lastRefreshLSH = lsh
+		s.lastRefreshIncremental = incremental
+		s.lastRefreshSec = s.clock.Now().Sub(start).Seconds()
+		s.lastRefreshErr = err.Error()
 		s.est.reset()
+		s.refreshPending = false
 		s.refreshing = false
 		s.mu.Unlock()
 		return
@@ -442,17 +537,125 @@ func (s *Streamer) refresh(sample []dataset.Transaction, names []string) {
 
 	s.mu.Lock()
 	s.refreshes++
-	s.lastRefreshPoints = len(sample)
+	s.lastRefreshPoints = npts
 	s.lastRefreshLSH = lsh
+	s.lastRefreshIncremental = incremental
 	s.lastRefreshSec = s.clock.Now().Sub(start).Seconds()
 	s.lastSwapPauseSec = pause.Seconds()
-	s.outHead, s.outLen = 0, 0
-	for i := range s.outRing {
-		s.outRing[i] = nil
-	}
+	s.lastRefreshErr = ""
+	survivors := s.settleRingLocked(in.cutLen)
 	s.est.reset()
-	s.refreshing = false
+	s.readmitLocked(survivors)
+	s.finishRefreshLocked()
 	s.mu.Unlock()
+}
+
+// recluster builds the refreshed model from the snapshot: the seeded
+// incremental path when configured (old generation's labeled clusters +
+// the snapshotted outliers), falling back to the full re-cluster over
+// reservoir+outliers when the seeded run rejects the config or fails.
+// Called without s.mu held.
+func (s *Streamer) recluster(in refreshInput) (m *core.Model, incremental bool, npts int, lsh bool, err error) {
+	if s.cfg.Incremental {
+		reps, groups := in.model.LabeledGroups()
+		pts := append(reps, in.outliers...)
+		npts = len(pts)
+		rcfg := s.cfg.Cluster
+		lsh = s.cfg.LSHAbove >= 0 && npts >= s.cfg.LSHAbove
+		if lsh {
+			rcfg.LSHNeighbors = true
+		}
+		m, err = seededFreeze(pts, groups, in.names, rcfg)
+		if err == nil {
+			return m, true, npts, lsh, nil
+		}
+		s.mu.Lock()
+		s.incrementalFallbacks++
+		s.lastRefreshErr = err.Error() // overwritten by the fallback's outcome
+		s.mu.Unlock()
+	}
+	sample := make([]dataset.Transaction, 0, len(in.reservoir)+len(in.outliers))
+	sample = append(sample, in.reservoir...)
+	sample = append(sample, in.outliers...)
+	npts = len(sample)
+	rcfg := s.cfg.Cluster
+	lsh = s.cfg.LSHAbove >= 0 && npts >= s.cfg.LSHAbove
+	if lsh {
+		rcfg.LSHNeighbors = true
+	}
+	m, err = reclusterFreeze(sample, in.names, rcfg)
+	return m, false, npts, lsh, err
+}
+
+// settleRingLocked reconciles the outlier ring after a successful swap.
+// The snapshotted prefix (cutLen entries at trigger time) entered the
+// refreshed model: clear whatever of it is still in the ring, and
+// reverse the drop counts of snapshotted entries the ring evicted
+// mid-refresh — drop-oldest evicts the snapshot first, and those points
+// were NOT lost, they are in the new model. Everything else in the ring
+// was parked during the refresh window against the old generation; it
+// is extracted and returned for re-admission. The ring is empty on
+// return. Caller holds s.mu.
+func (s *Streamer) settleRingLocked(cutLen int) []dataset.Transaction {
+	s.refreshed += int64(cutLen)
+	rescued := s.dropped - s.dropsAtTrigger // mid-refresh evictions, oldest-first = snapshot-first
+	if rescued > int64(cutLen) {
+		rescued = int64(cutLen)
+	}
+	s.dropped -= rescued
+	n := len(s.outRing)
+	for remain := cutLen - int(rescued); remain > 0; remain-- {
+		s.outRing[s.outHead] = nil
+		s.outHead = (s.outHead + 1) % n
+		s.outLen--
+	}
+	survivors := make([]dataset.Transaction, 0, s.outLen)
+	for i := 0; i < s.outLen; i++ {
+		j := (s.outHead + i) % n
+		survivors = append(survivors, s.outRing[j])
+		s.outRing[j] = nil
+	}
+	s.outHead, s.outLen = 0, 0
+	return survivors
+}
+
+// readmitLocked runs the refresh-window survivors through the new
+// generation's θ-test: points the refreshed model places are admitted
+// (and offered to the reservoir), the rest re-park. The assignment goes
+// through the serve stack's direct path, not the coalescing batcher — a
+// partial batch would strand against a test-controlled clock, and there
+// is no concurrent traffic to amortize with. Survivors re-entering the
+// ring do not re-count in Stats.Outliers (each parked point counts
+// once); the drift estimator is not fed either — it just reset, and
+// these are not new arrivals. Caller holds s.mu.
+func (s *Streamer) readmitLocked(survivors []dataset.Transaction) {
+	if len(survivors) == 0 {
+		return
+	}
+	out, _ := s.srv.SubmitDirect(survivors)
+	for i, ci := range out {
+		if ci >= 0 {
+			s.readmitted++
+			s.retainLocked(survivors[i])
+		} else {
+			s.parkLocked(survivors[i])
+		}
+	}
+}
+
+// finishRefreshLocked closes out a successful refresh: when a trigger
+// landed mid-refresh and the re-parked remainder still clears the
+// refresh floor, the queued follow-up starts immediately (the points it
+// needs are already in the ring; waiting for the estimator to re-warm
+// would just delay it); otherwise the streamer returns to steady state.
+// Caller holds s.mu.
+func (s *Streamer) finishRefreshLocked() {
+	if s.refreshPending && s.outLen >= s.cfg.MinRefreshOutliers {
+		s.triggerLocked()
+		return
+	}
+	s.refreshPending = false
+	s.refreshing = false
 }
 
 // reclusterFreeze runs the offline pipeline over the refresh input and
@@ -464,6 +667,23 @@ func reclusterFreeze(sample []dataset.Transaction, names []string, cfg core.Conf
 	if err != nil {
 		return nil, fmt.Errorf("stream: refresh clustering: %w", err)
 	}
+	return freezeRefreshed(sample, names, res, cfg)
+}
+
+// seededFreeze is reclusterFreeze on the incremental path: the input is
+// the old model's labeled points (grouped by groups) followed by the
+// snapshotted outliers, clustered by core.ClusterSeeded.
+func seededFreeze(pts []dataset.Transaction, groups [][]int, names []string, cfg core.Config) (*core.Model, error) {
+	res, err := core.ClusterSeeded(pts, groups, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("stream: incremental refresh clustering: %w", err)
+	}
+	return freezeRefreshed(pts, names, res, cfg)
+}
+
+// freezeRefreshed freezes a refresh run's result, over the vocabulary
+// snapshot when the streamer owns one.
+func freezeRefreshed(sample []dataset.Transaction, names []string, res *core.Result, cfg core.Config) (*core.Model, error) {
 	if names != nil {
 		v := dataset.NewVocabulary()
 		for _, n := range names {

@@ -123,14 +123,15 @@ func TestOutlierRingBounds(t *testing.T) {
 	if stats.PendingOutliers != 4 || stats.DroppedOutliers != 3 || stats.Outliers != 7 {
 		t.Fatalf("ring state: %+v, want 4 pending / 3 dropped / 7 total", stats)
 	}
-	// The ring holds the NEWEST 4: refresh input must contain them.
+	// The ring holds the NEWEST 4: refresh input must contain them, and
+	// the recorded ring cut must cover exactly them.
 	st.mu.Lock()
-	sample, _ := st.refreshInputLocked()
+	in := st.refreshInputLocked()
 	st.mu.Unlock()
-	if len(sample) != 4 {
-		t.Fatalf("refresh input %d points, want the 4 retained outliers", len(sample))
+	if len(in.outliers) != 4 || in.cutLen != 4 {
+		t.Fatalf("refresh input snapshotted %d outliers (cut %d), want the 4 retained", len(in.outliers), in.cutLen)
 	}
-	for i, tx := range sample {
+	for i, tx := range in.outliers {
 		if !tx.Equal(out[3+i]) {
 			t.Fatalf("ring slot %d holds the wrong point (want newest-4 in arrival order)", i)
 		}
@@ -298,6 +299,21 @@ func TestRefreshFailureKeepsServing(t *testing.T) {
 	if stats.Generation != 1 {
 		t.Fatalf("failed refresh bumped the generation to %d", stats.Generation)
 	}
+	// The failure still lands in the refresh ledger: cost and input size
+	// are recorded alongside the error, and no follow-up stays queued.
+	if stats.LastRefreshError == "" {
+		t.Fatalf("failed refresh left no error in the ledger: %+v", stats)
+	}
+	if stats.LastRefreshPoints <= 0 {
+		t.Fatalf("failed refresh recorded no input size: %+v", stats)
+	}
+	if stats.LastRefreshSec < 0 {
+		t.Fatalf("failed refresh recorded negative cost: %+v", stats)
+	}
+	if stats.PendingRefresh || stats.Refreshing {
+		t.Fatalf("failed refresh left the state machine armed: %+v", stats)
+	}
+	assertLedger(t, stats)
 	// Still serving: admitted points keep answering on generation 1.
 	ok, _ := g.batch(8)
 	res := st.Ingest(ok)
