@@ -13,6 +13,7 @@
 //	rockbench -serve       # HTTP serving sweep → BENCH_serve.json
 //	rockbench -neighbors   # exact-vs-LSH neighbor sweep → BENCH_neighbors.json
 //	rockbench -stream      # streaming ingestion sweep → BENCH_stream.json
+//	rockbench -zoo         # algorithm-zoo shootout → BENCH_zoo.json
 package main
 
 import (
@@ -37,6 +38,7 @@ func main() {
 		srv    = flag.Bool("serve", false, "run the HTTP serving sweep (concurrent load against an in-process rockserve stack) and write BENCH_serve.json (or -out)")
 		nbrs   = flag.Bool("neighbors", false, "run the neighbor-phase sweep (exact index vs prototype LSH vs sort-based LSH pipeline) and write BENCH_neighbors.json (or -out)")
 		strm   = flag.Bool("stream", false, "run the streaming-ingestion sweep (sustained ingest through a regime change with background refresh) and write BENCH_stream.json (or -out)")
+		zoos   = flag.Bool("zoo", false, "run the algorithm-zoo shootout (every registered engine vs ROCK on the labeled/votes/mushroom workloads) and write BENCH_zoo.json (or -out)")
 		long   = flag.Bool("long", false, "with -neighbors: add the million-point rows (10⁶ LSH neighbor run + chunked clustering end-to-end); minutes of runtime")
 	)
 	flag.Usage = usage
@@ -76,6 +78,10 @@ func main() {
 	}
 	if *strm {
 		runSweep(*out, "BENCH_stream.json", sweepOpts, expt.BenchStream)
+		return
+	}
+	if *zoos {
+		runSweep(*out, "BENCH_zoo.json", sweepOpts, expt.BenchZoo)
 		return
 	}
 
@@ -140,6 +146,11 @@ the performance-trajectory records — one bench mode per record:
            each in both refresh modes: full re-cluster of the retained
            sample vs incremental re-cluster seeded with the serving
            model's clusters)
+  -zoo     algorithm-zoo shootout                  → BENCH_zoo.json
+           (every registered engine — COOLCAT, Squeezer, k-histograms,
+           k-modes, hierarchical, STIRR, and ROCK through its adapter —
+           scored purity/NMI/ARI against ground truth, with wall-clock
+           per Fit, on the labeled, votes and mushroom workloads)
 
 With no flags and no ids, every experiment runs at paper scale to stdout.
 

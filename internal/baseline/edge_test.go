@@ -1,0 +1,93 @@
+package baseline
+
+import (
+	"testing"
+
+	"github.com/rockclust/rock/internal/dataset"
+)
+
+// The zoo conformance suite (internal/zoo) hammers the baselines through
+// their adapters; these tests pin the same hostile shapes at the native
+// APIs, where the adapters' clamping cannot paper over a panic.
+
+func TestKModesOverKInitVariants(t *testing.T) {
+	records := []dataset.Record{{"a", "x"}, {"b", "y"}, {"a", "x"}}
+
+	// k > n with FirstKDistinct: only two distinct records exist, so the
+	// clamp to n and the distinct scan must both engage without panicking.
+	res, err := KModes(records, KModesConfig{K: 7, FirstKDistinct: true})
+	if err != nil {
+		t.Fatalf("FirstKDistinct k>n: %v", err)
+	}
+	if len(res.Clusters) != 2 {
+		t.Fatalf("FirstKDistinct k>n found %d clusters, want 2 (two distinct records)", len(res.Clusters))
+	}
+
+	// k > n with restarts: every restart re-enters the clamp path.
+	res, err = KModes(records, KModesConfig{K: 7, Seed: 3, Restarts: 4})
+	if err != nil {
+		t.Fatalf("Restarts k>n: %v", err)
+	}
+	if len(res.Clusters) < 1 || len(res.Clusters) > 3 {
+		t.Fatalf("Restarts k>n found %d clusters", len(res.Clusters))
+	}
+	if res.Cost != 0 {
+		t.Fatalf("k>=distinct records must reach cost 0, got %d", res.Cost)
+	}
+
+	// Restarts over an empty input terminates immediately.
+	if _, err := KModes(nil, KModesConfig{K: 2, Restarts: 3}); err != nil {
+		t.Fatalf("Restarts on empty input: %v", err)
+	}
+}
+
+func TestHierarchicalSingleTransaction(t *testing.T) {
+	ts := []dataset.Transaction{{1, 2, 3}}
+	for _, k := range []int{1, 3} {
+		res, err := Hierarchical(ts, HierarchicalConfig{K: k})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if len(res.Clusters) != 1 || res.Assign[0] != 0 {
+			t.Fatalf("k=%d: clusters=%v assign=%v, want one singleton", k, res.Clusters, res.Assign)
+		}
+	}
+}
+
+func TestHierarchicalAllIdentical(t *testing.T) {
+	// Identical transactions are at pairwise distance 0: every merge is a
+	// tie, which the index-order tie-break must resolve deterministically.
+	ts := make([]dataset.Transaction, 6)
+	for i := range ts {
+		ts[i] = dataset.Transaction{1, 2}
+	}
+	for _, linkage := range []Linkage{Centroid, Average, Single, Complete} {
+		res, err := Hierarchical(ts, HierarchicalConfig{K: 2, Linkage: linkage})
+		if err != nil {
+			t.Fatalf("%v: %v", linkage, err)
+		}
+		if len(res.Clusters) != 2 {
+			t.Fatalf("%v: %d clusters, want 2", linkage, len(res.Clusters))
+		}
+		again, _ := Hierarchical(ts, HierarchicalConfig{K: 2, Linkage: linkage})
+		for p := range res.Assign {
+			if res.Assign[p] != again.Assign[p] {
+				t.Fatalf("%v: tie-breaking not deterministic at point %d", linkage, p)
+			}
+		}
+	}
+}
+
+func TestHierarchicalSampledEmptySample(t *testing.T) {
+	// An empty sample clusters nothing and leaves no centroids to label
+	// the out-of-sample points against; this used to index Clusters[-1]
+	// and panic, now it is a clean error. An empty input stays fine.
+	ts := []dataset.Transaction{{1}, {2}}
+	if _, err := HierarchicalSampled(ts, nil, HierarchicalConfig{K: 2}); err == nil {
+		t.Fatal("empty sample over non-empty input accepted")
+	}
+	res, err := HierarchicalSampled(nil, nil, HierarchicalConfig{K: 2})
+	if err != nil || len(res.Clusters) != 0 {
+		t.Fatalf("empty input mishandled: %v %v", err, res)
+	}
+}

@@ -241,8 +241,12 @@ func NearestCentroid(t dataset.Transaction, cents []sparseCentroid) int {
 // HierarchicalSampled clusters a prefix-free uniform sample of ts and
 // assigns the remaining points to the nearest centroid — the scalable
 // variant used when the comparator cannot run on the full dataset.
-// sampleIdx must be ascending; points outside it are labeled.
+// sampleIdx must be ascending and non-empty when ts is non-empty: with
+// no sample there are no centroids to label the rest against.
 func HierarchicalSampled(ts []dataset.Transaction, sampleIdx []int, cfg HierarchicalConfig) (*Result, error) {
+	if len(sampleIdx) == 0 && len(ts) > 0 {
+		return nil, fmt.Errorf("baseline: empty sample for %d transactions", len(ts))
+	}
 	local := make([]dataset.Transaction, len(sampleIdx))
 	for i, j := range sampleIdx {
 		local[i] = ts[j]

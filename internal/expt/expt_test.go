@@ -210,3 +210,42 @@ func TestBenchNeighborsQuick(t *testing.T) {
 		t.Fatal("chunked row present without -long")
 	}
 }
+
+func TestBenchZooQuick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := BenchZoo(&buf, Options{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	var rep ZooBenchReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	wantRows := 3 * 7 // three workloads, seven engines
+	if !rep.Quick || len(rep.Rows) != wantRows {
+		t.Fatalf("unexpected report shape: quick=%v rows=%d (want %d)", rep.Quick, len(rep.Rows), wantRows)
+	}
+	for _, row := range rep.Rows {
+		if row.Err != "" {
+			t.Fatalf("row %s/%s errored: %s", row.Dataset, row.Engine, row.Err)
+		}
+		if row.Sec < 0 || row.KFound < 1 || row.N < 1 {
+			t.Fatalf("implausible row %+v", row)
+		}
+		if row.Purity < 1/float64(row.N) || row.Purity > 1 || row.NMI < 0 || row.NMI > 1+1e-9 {
+			t.Fatalf("out-of-range metrics in row %+v", row)
+		}
+	}
+	// The shootout must be a real contest: on the two-class votes
+	// workload most engines clearly beat the 61.4% majority-class
+	// baseline. (Not all — centroid-linkage hierarchical collapsing to
+	// the majority there is the paper's own motivating failure.)
+	winners := 0
+	for _, row := range rep.Rows {
+		if row.Dataset == "votes" && row.Purity >= 0.8 {
+			winners++
+		}
+	}
+	if winners < 4 {
+		t.Fatalf("only %d engines beat purity 0.8 on votes — shootout implausibly weak", winners)
+	}
+}

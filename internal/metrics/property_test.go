@@ -1,0 +1,210 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// naiveNMI computes normalized mutual information straight from the
+// definition — joint distribution over (cluster, class), MI from the
+// log-ratio sum, √ normalization — independently of the contingency
+// helper. Outliers become unique singleton ids, mirroring Evaluate.
+func naiveNMI(assign []int, labels []string) float64 {
+	n := len(assign)
+	if n == 0 {
+		return 1
+	}
+	ids := make([]int, n)
+	next := 1 << 20
+	for i, a := range assign {
+		if a < 0 {
+			ids[i] = next
+			next++
+		} else {
+			ids[i] = a
+		}
+	}
+	joint := map[[2]string]int{}
+	rowN := map[int]int{}
+	colN := map[string]int{}
+	for i := range ids {
+		joint[[2]string{string(rune(ids[i])), labels[i]}]++
+		rowN[ids[i]]++
+		colN[labels[i]]++
+	}
+	nf := float64(n)
+	hr, hc := 0.0, 0.0
+	for _, c := range rowN {
+		p := float64(c) / nf
+		hr -= p * math.Log(p)
+	}
+	for _, c := range colN {
+		p := float64(c) / nf
+		hc -= p * math.Log(p)
+	}
+	mi := 0.0
+	for i := range ids {
+		// Sum MI point-wise (each point contributes (1/n)·log n·n_{cl}/(n_c·n_l)
+		// for its own cell), which visits every non-zero cell c_{cl} times.
+		key := [2]string{string(rune(ids[i])), labels[i]}
+		mi += (1 / nf) * math.Log(nf*float64(joint[key])/(float64(rowN[ids[i]])*float64(colN[labels[i]])))
+	}
+	if hr == 0 && hc == 0 {
+		return 1
+	}
+	if hr == 0 || hc == 0 {
+		return 0
+	}
+	return mi / math.Sqrt(hr*hc)
+}
+
+func TestNMIAgainstDefinitionOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(79))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + r.Intn(60)
+		assign := make([]int, n)
+		labels := make([]string, n)
+		for i := range assign {
+			assign[i] = r.Intn(5) - 1 // -1..3, includes outliers
+			labels[i] = string(rune('a' + r.Intn(3)))
+		}
+		got := Evaluate(assign, labels).NMI
+		want := naiveNMI(assign, labels)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: NMI %g != oracle %g (assign=%v labels=%v)", trial, got, want, assign, labels)
+		}
+	}
+}
+
+// TestMetricProperties checks the invariants any external index must
+// satisfy, on random partitions: ranges, perfect agreement, and
+// invariance under cluster-id relabeling.
+func TestMetricProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(80))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + r.Intn(80)
+		assign := make([]int, n)
+		labels := make([]string, n)
+		for i := range assign {
+			assign[i] = r.Intn(4)
+			labels[i] = string(rune('a' + r.Intn(3)))
+		}
+		ev := Evaluate(assign, labels)
+		if ev.NMI < -1e-12 || ev.NMI > 1+1e-12 {
+			t.Fatalf("trial %d: NMI %g outside [0,1]", trial, ev.NMI)
+		}
+		if ev.ARI > 1+1e-12 {
+			t.Fatalf("trial %d: ARI %g above 1", trial, ev.ARI)
+		}
+		if ev.Accuracy < 1/float64(n)-1e-12 || ev.Accuracy > 1+1e-12 {
+			t.Fatalf("trial %d: purity %g outside [1/n,1]", trial, ev.Accuracy)
+		}
+
+		// Perfect agreement: cluster id = class id.
+		perfect := make([]int, n)
+		for i, l := range labels {
+			perfect[i] = int(l[0] - 'a')
+		}
+		pv := Evaluate(perfect, labels)
+		if pv.Accuracy != 1 || math.Abs(pv.ARI-1) > 1e-12 || math.Abs(pv.NMI-1) > 1e-12 {
+			t.Fatalf("trial %d: perfect clustering scored purity=%g ARI=%g NMI=%g", trial, pv.Accuracy, pv.ARI, pv.NMI)
+		}
+
+		// Relabeling clusters (here: reversing ids) changes nothing.
+		flipped := make([]int, n)
+		for i, a := range assign {
+			flipped[i] = 3 - a
+		}
+		fv := Evaluate(flipped, labels)
+		if fv.Majority != ev.Majority || math.Abs(fv.ARI-ev.ARI) > 1e-12 || math.Abs(fv.NMI-ev.NMI) > 1e-12 {
+			t.Fatalf("trial %d: metrics not invariant under cluster relabeling", trial)
+		}
+	}
+}
+
+// TestDegeneratePartitions pins the boundary conventions: the
+// all-singletons clustering is trivially pure, the one-cluster
+// clustering scores the majority class, and a random clustering of
+// balanced classes lands near ARI 0 (the index's whole point is that
+// chance agreement is adjusted away).
+func TestDegeneratePartitions(t *testing.T) {
+	n := 600
+	r := rand.New(rand.NewSource(81))
+	labels := make([]string, n)
+	for i := range labels {
+		labels[i] = string(rune('a' + i%3))
+	}
+
+	singletons := make([]int, n)
+	for i := range singletons {
+		singletons[i] = i
+	}
+	if ev := Evaluate(singletons, labels); ev.Accuracy != 1 {
+		t.Fatalf("all-singletons purity = %g, want 1", ev.Accuracy)
+	}
+
+	lump := make([]int, n)
+	ev := Evaluate(lump, labels)
+	if ev.Majority != n/3 {
+		t.Fatalf("one-cluster majority = %d, want %d", ev.Majority, n/3)
+	}
+	if math.Abs(ev.ARI) > 1e-12 || math.Abs(ev.NMI) > 1e-12 {
+		t.Fatalf("one-cluster ARI=%g NMI=%g, want 0 (no information)", ev.ARI, ev.NMI)
+	}
+
+	random := make([]int, n)
+	for i := range random {
+		random[i] = r.Intn(3)
+	}
+	rv := Evaluate(random, labels)
+	if math.Abs(rv.ARI) > 0.1 || rv.NMI > 0.1 {
+		t.Fatalf("random clustering ARI=%g NMI=%g, want ≈0", rv.ARI, rv.NMI)
+	}
+}
+
+// TestHandComputedFixtures pins exact values worked out by hand, so a
+// sign or normalization slip cannot hide behind oracle symmetry.
+func TestHandComputedFixtures(t *testing.T) {
+	// Crossed partition: clusters {0,2} vs {1,3}, classes aabb. Every
+	// cluster splits both classes evenly. Contingency rows (1,1),(1,1):
+	// Σ C(cell,2)=0, Σ C(row,2)=2, Σ C(col,2)=2, C(4,2)=6 →
+	// ARI = (0 − 2·2/6)/((2+2)/2 − 2·2/6) = (−2/3)/(4/3) = −1/2,
+	// and every joint cell has p = pc·pl = 1/4 → MI = 0 → NMI = 0.
+	ev := Evaluate([]int{0, 1, 0, 1}, []string{"a", "a", "b", "b"})
+	if math.Abs(ev.ARI-(-0.5)) > 1e-12 {
+		t.Fatalf("crossed ARI = %g, want -0.5", ev.ARI)
+	}
+	if math.Abs(ev.NMI) > 1e-12 {
+		t.Fatalf("crossed NMI = %g, want 0", ev.NMI)
+	}
+	if ev.Majority != 2 || ev.AbsoluteError != 2 {
+		t.Fatalf("crossed majority = %d ace = %d, want 2/2", ev.Majority, ev.AbsoluteError)
+	}
+
+	// Partial agreement: clusters {0,1},{2,3}, classes aaab.
+	// Joint cells: (c0,a)=2, (c1,a)=1, (c1,b)=1 over n=4:
+	//   MI = ½·ln(½/(½·¾)) + ¼·ln(¼/(½·¾)) + ¼·ln(¼/(½·¼))
+	//      = ½·ln(4/3) + ¼·ln(2/3) + ¼·ln 2 = 0.2157615543…
+	//   H(C) = ln 2 = 0.6931471806…, H(L) = ¾·ln(4/3) + ¼·ln 4
+	//        = 0.5623351446…
+	//   NMI = MI/√(H(C)·H(L)) = 0.2157616/√0.3897810 = 0.3455920…
+	ev = Evaluate([]int{0, 0, 1, 1}, []string{"a", "a", "a", "b"})
+	if math.Abs(ev.NMI-0.3455920) > 1e-6 {
+		t.Fatalf("partial NMI = %.7f, want 0.3455920", ev.NMI)
+	}
+	if ev.Majority != 3 {
+		t.Fatalf("partial majority = %d, want 3", ev.Majority)
+	}
+
+	// One outlier: assign (0,0,-1), classes aab. The outlier becomes a
+	// singleton row {b}; the real cluster is pure a. Purity counts only
+	// real-cluster majorities: 2/3.
+	ev = Evaluate([]int{0, 0, -1}, []string{"a", "a", "b"})
+	if math.Abs(ev.Accuracy-2.0/3) > 1e-12 {
+		t.Fatalf("outlier purity = %g, want 2/3", ev.Accuracy)
+	}
+	if math.Abs(ev.ARI-1) > 1e-12 || math.Abs(ev.NMI-1) > 1e-12 {
+		t.Fatalf("outlier-as-singleton ARI=%g NMI=%g, want 1 (partitions coincide)", ev.ARI, ev.NMI)
+	}
+}

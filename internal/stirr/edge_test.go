@@ -1,0 +1,64 @@
+package stirr
+
+import (
+	"testing"
+
+	"github.com/rockclust/rock/internal/dataset"
+)
+
+// Companion edges to TestRunEdgeCases, driven by the zoo conformance
+// work: the read-out paths must stay panic-free when the dynamical
+// system had nothing to converge on.
+
+func TestRunRejectsNegativeAttrs(t *testing.T) {
+	for _, nattrs := range []int{0, -1, -100} {
+		if _, err := Run([]dataset.Record{{"a"}}, nattrs, Config{}); err == nil {
+			t.Fatalf("nattrs=%d accepted", nattrs)
+		}
+	}
+}
+
+func TestClusterRecordsOnNodelessResult(t *testing.T) {
+	// All-missing records build zero nodes, so Run returns converged
+	// empty weights; every read-out basin is then out of range and the
+	// split must degrade to a single cluster without panicking.
+	records := []dataset.Record{{"?", "?"}, {"", "?"}, {"?", ""}}
+	res, err := Run(records, 2, Config{Revised: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Nodes) != 0 || !res.Converged {
+		t.Fatalf("nodeless input: %d nodes converged=%v", len(res.Nodes), res.Converged)
+	}
+	for _, basin := range []int{0, 1, 5} {
+		assign := ClusterRecords(res, records, basin)
+		if len(assign) != len(records) {
+			t.Fatalf("basin %d: %d assignments", basin, len(assign))
+		}
+		for p, a := range assign {
+			if a != 0 {
+				t.Fatalf("basin %d: record %d in cluster %d, want 0", basin, p, a)
+			}
+		}
+	}
+}
+
+func TestClusterRecordsUnseenValues(t *testing.T) {
+	// Records scored at read-out time may hold values the system never
+	// saw (out-of-sample data); they must contribute zero weight rather
+	// than panic or skew the sign.
+	train := []dataset.Record{{"a", "x"}, {"a", "x"}, {"b", "y"}, {"b", "y"}}
+	res, err := Run(train, 2, Config{Revised: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := []dataset.Record{{"never", "seen"}, {"a", "unseen"}}
+	assign := ClusterRecords(res, probe, 1)
+	if assign[0] != 0 {
+		t.Fatalf("all-unseen record scored nonzero: cluster %d", assign[0])
+	}
+	known := ClusterRecords(res, train[:1], 1)
+	if assign[1] != known[0] {
+		t.Fatalf("partially-seen record landed in cluster %d, its seen value alone says %d", assign[1], known[0])
+	}
+}

@@ -1,0 +1,76 @@
+package zoo
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/rockclust/rock/internal/dataset"
+)
+
+// FuzzSqueezerIngest throws arbitrary byte streams at the incremental
+// Squeezer API. The first byte sets the admission threshold (scaled into
+// [0,1]); the rest is parsed as newline-separated records of
+// comma-separated values, so the fuzzer controls record count, widths
+// (ragged on purpose — Ingest must pad and truncate), values, and the
+// threshold jointly. The contract under fuzz: no panic, every returned
+// cluster id is in range and stable in Len/K accounting, and the
+// snapshot after every ingest is a canonical total partition.
+func FuzzSqueezerIngest(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add([]byte("\x00a,b\na,b\n"))
+	f.Add([]byte("\xffx,y\np,q\nx,q\n"))
+	f.Add([]byte("\x80m,m,m\nm\nm,m,m,m,m\n"))
+	f.Add([]byte("\x40,,\n,\n\n,,,,\n"))
+	f.Add([]byte("\x7fsame\nsame\nsame\nsame\n"))
+	f.Add([]byte("\xc0a\nb\nc\nd\ne\nf\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		threshold := 0.0
+		if len(data) > 0 {
+			threshold = float64(data[0]) / 255
+			data = data[1:]
+		}
+		var records []dataset.Record
+		width := 0
+		for _, line := range strings.Split(string(data), "\n") {
+			if line == "" {
+				continue
+			}
+			rec := dataset.Record(strings.Split(line, ","))
+			if len(rec) > width {
+				width = len(rec)
+			}
+			records = append(records, rec)
+			if len(records) == 256 {
+				break // bound the quadratic-in-K scan per input
+			}
+		}
+
+		s := NewSqueezer(width, threshold)
+		for i, rec := range records {
+			c := s.Ingest(rec)
+			if c < 0 || c >= s.K() {
+				t.Fatalf("record %d: cluster id %d out of range [0,%d)", i, c, s.K())
+			}
+			if s.Len() != i+1 {
+				t.Fatalf("record %d: Len = %d", i, s.Len())
+			}
+			if err := Check(s.Result(), s.Len()); err != nil {
+				t.Fatalf("record %d: %v", i, err)
+			}
+		}
+		if s.K() > s.Len() {
+			t.Fatalf("more clusters (%d) than records (%d)", s.K(), s.Len())
+		}
+
+		// Replaying the identical stream must reproduce the partition.
+		s2 := NewSqueezer(width, threshold)
+		for _, rec := range records {
+			s2.Ingest(rec)
+		}
+		if !samePartition(s.Result(), s2.Result()) {
+			t.Fatal("replayed stream produced a different partition")
+		}
+	})
+}
